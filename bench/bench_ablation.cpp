@@ -1,0 +1,107 @@
+// Ablation study (extension): which STGA design choices matter?
+//   * history table on/off (STGA vs classic GA)
+//   * heuristic seeding on/off
+//   * lookup-table capacity and similarity threshold
+//   * fitness shaping (flowtime / expected-rework weights)
+//   * failure-detection model (at-end vs uniform fraction)
+// All on the PSA workload (N = 1000 by default).
+#include "bench_common.hpp"
+
+using namespace gridsched;
+
+namespace {
+
+exp::AlgorithmSpec variant(const std::string& name, core::StgaConfig config,
+                           bool classic = false) {
+  exp::AlgorithmSpec spec =
+      classic ? exp::classic_ga_spec(config) : exp::stga_spec(config);
+  spec.name = name;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Ablation -- STGA design choices (PSA, N=" +
+          std::to_string(args.psa_jobs) + ")",
+      "history + heuristic seeds drive the win; tiny tables / strict "
+      "thresholds reduce reuse; fitness shaping trades makespan vs response");
+
+  core::StgaConfig base = bench::paper_stga();
+  // A deliberately tight budget so the initial population quality shows.
+  base.ga.generations = 30;
+
+  std::vector<exp::AlgorithmSpec> variants;
+  variants.push_back(variant("STGA (paper config)", base));
+  {
+    core::StgaConfig config = base;
+    config.heuristic_seeds = false;
+    variants.push_back(variant("STGA, no heuristic seeds", config));
+  }
+  variants.push_back(variant("classic GA (no history/seeds)", base, true));
+  {
+    core::StgaConfig config = base;
+    config.table_capacity = 10;
+    variants.push_back(variant("STGA, table capacity 10", config));
+  }
+  {
+    core::StgaConfig config = base;
+    config.similarity_threshold = 0.95;
+    variants.push_back(variant("STGA, threshold 0.95", config));
+  }
+  {
+    core::StgaConfig config = base;
+    config.similarity_threshold = 0.5;
+    variants.push_back(variant("STGA, threshold 0.50", config));
+  }
+  {
+    core::StgaConfig config = base;
+    config.ga.fitness = {0.0, 0.0};  // pure makespan objective
+    variants.push_back(variant("STGA, pure-makespan fitness", config));
+  }
+  {
+    core::StgaConfig config = base;
+    config.ga.fitness = {0.6, 0.0};  // no expected-rework term
+    variants.push_back(variant("STGA, no risk penalty", config));
+  }
+
+  const exp::Scenario scenario = exp::psa_scenario(args.psa_jobs);
+  util::Table table({"variant", "makespan (s)", "avg response (s)",
+                     "slowdown", "N_fail", "sched time (s)"});
+  for (const auto& spec : variants) {
+    const auto result =
+        exp::run_replicated(scenario, spec, args.reps, args.seed);
+    const auto& agg = result.aggregate;
+    table.row()
+        .cell(spec.name)
+        .cell(agg.makespan().mean(), 3)
+        .cell(agg.avg_response().mean(), 3)
+        .cell(agg.slowdown().mean(), 2)
+        .cell(agg.n_fail().mean(), 0)
+        .cell(agg.scheduler_seconds().mean(), 2);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.str().c_str());
+
+  // Failure-detection model ablation on the heuristics.
+  util::Table detect({"detection model", "Min-Min risky makespan",
+                      "Min-Min risky response"});
+  for (const bool at_end : {false, true}) {
+    exp::Scenario scenario_d = exp::psa_scenario(args.psa_jobs);
+    scenario_d.engine.detection = at_end
+                                      ? sim::FailureDetection::kAtEnd
+                                      : sim::FailureDetection::kUniformFraction;
+    const auto result = exp::run_replicated(
+        scenario_d,
+        exp::heuristic_spec("min-min", security::RiskPolicy::risky()),
+        args.reps, args.seed);
+    detect.row()
+        .cell(at_end ? "at planned end" : "uniform fraction")
+        .cell(result.aggregate.makespan().mean(), 3)
+        .cell(result.aggregate.avg_response().mean(), 3);
+  }
+  std::printf("%s\n", detect.str().c_str());
+  return 0;
+}

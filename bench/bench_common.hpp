@@ -1,0 +1,63 @@
+// Shared plumbing for the per-figure bench binaries: flag parsing, the
+// paper-roster runners and table helpers. Every binary runs with no
+// arguments and prints the same rows/series the paper reports; flags let
+// you scale the experiment (--jobs, --reps, --seed, --f, ...).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "gridsched.hpp"
+
+namespace gridsched::bench {
+
+struct BenchArgs {
+  std::size_t reps = 1;  // the paper reports single-trace runs; raise for CIs
+  std::uint64_t seed = 20050419;  // IPDPS 2005 vintage
+  double f = 0.5;                 // paper's chosen risk bound
+  std::size_t nas_jobs = 16000;   // paper Table 1
+  std::size_t psa_jobs = 1000;
+  bool quick = false;             // shrink everything for CI-style runs
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  BenchArgs args;
+  args.reps = static_cast<std::size_t>(
+      cli.get_or("reps", static_cast<std::int64_t>(args.reps)));
+  args.seed = static_cast<std::uint64_t>(
+      cli.get_or("seed", static_cast<std::int64_t>(args.seed)));
+  args.f = cli.get_or("f", args.f);
+  args.nas_jobs = static_cast<std::size_t>(
+      cli.get_or("nas-jobs", static_cast<std::int64_t>(args.nas_jobs)));
+  args.psa_jobs = static_cast<std::size_t>(
+      cli.get_or("psa-jobs", static_cast<std::int64_t>(args.psa_jobs)));
+  args.quick = cli.get_or("quick", false);
+  if (args.quick) {
+    args.nas_jobs = std::min<std::size_t>(args.nas_jobs, 2000);
+    args.psa_jobs = std::min<std::size_t>(args.psa_jobs, 300);
+    args.reps = 1;
+  }
+  return args;
+}
+
+inline void print_banner(const std::string& id, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Paper expectation: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Paper-default STGA configuration (Table 1).
+inline core::StgaConfig paper_stga() {
+  core::StgaConfig config;
+  config.ga.population = 200;
+  config.ga.generations = 100;
+  config.ga.crossover_prob = 0.8;
+  config.ga.mutation_prob = 0.01;
+  config.table_capacity = 150;
+  config.similarity_threshold = 0.8;
+  return config;
+}
+
+}  // namespace gridsched::bench

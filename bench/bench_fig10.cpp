@@ -1,0 +1,42 @@
+// Figure 10(a-d): scaling with the PSA job count N = 1000/2000/5000/10000
+// for the three best performers (Min-Min f-risky, Sufferage f-risky, STGA):
+// makespan, N_fail/N_risk, slowdown ratio and average response time.
+// Expected shape: every metric grows monotonically with N; STGA best
+// makespan (~6%) and clearly best slowdown/response; the two f-risky
+// heuristics within a few % of each other; STGA fails more but risks less.
+#include "bench_common.hpp"
+
+using namespace gridsched;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Figure 10 -- PSA scaling, N = 1000..10000",
+      "monotone growth; STGA best makespan/slowdown/response; f-risky pair "
+      "within ~1% of each other");
+
+  std::vector<std::size_t> sweep = {1000, 2000, 5000, 10000};
+  if (args.quick) sweep = {200, 400};
+
+  util::Table table({"N", "algorithm", "makespan (s)", "N_fail", "N_risk",
+                     "slowdown", "avg response (s)"});
+  for (const std::size_t n : sweep) {
+    const exp::Scenario scenario = exp::psa_scenario(n);
+    for (const auto& spec : exp::scaling_roster(args.f, bench::paper_stga())) {
+      const auto result =
+          exp::run_replicated(scenario, spec, args.reps, args.seed);
+      const auto& agg = result.aggregate;
+      table.row()
+          .cell(n)
+          .cell(spec.name)
+          .cell(agg.makespan().mean(), 3)
+          .cell(agg.n_fail().mean(), 0)
+          .cell(agg.n_risk().mean(), 0)
+          .cell(agg.slowdown().mean(), 2)
+          .cell(agg.avg_response().mean(), 3);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

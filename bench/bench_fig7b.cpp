@@ -1,0 +1,32 @@
+// Figure 7(b): makespan of a full STGA-scheduled PSA run (N = 1000) as a
+// function of the GA generation budget per scheduling round.
+// Expected shape: fluctuates below ~25 iterations, converges by ~50, flat
+// afterwards (this is the paper's argument for stopping at 100).
+#include "bench_common.hpp"
+
+using namespace gridsched;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Figure 7(b) -- STGA makespan vs GA iterations (PSA, N=" +
+          std::to_string(args.psa_jobs) + ")",
+      "noisy below ~25 iterations, converged and flat after ~50");
+
+  const exp::Scenario scenario = exp::psa_scenario(args.psa_jobs);
+  util::Table table({"iterations", "STGA makespan (s)", "sched time (s)"});
+
+  for (const std::size_t generations :
+       {1ul, 5ul, 10ul, 25ul, 40ul, 50ul, 75ul, 100ul, 150ul, 200ul}) {
+    core::StgaConfig config = bench::paper_stga();
+    config.ga.generations = generations;
+    const auto result = exp::run_replicated(scenario, exp::stga_spec(config),
+                                            args.reps, args.seed);
+    table.row()
+        .cell(generations)
+        .cell(result.aggregate.makespan().mean(), 3)
+        .cell(result.aggregate.scheduler_seconds().mean(), 2);
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

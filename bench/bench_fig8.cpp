@@ -1,0 +1,40 @@
+// Figure 8(a-d): the seven algorithms on the NAS trace workload --
+// (a) makespan, (b) N_fail / N_risk, (c) slowdown ratio, (d) average
+// response time.
+// Expected shape: STGA best on (a), (c), (d); secure modes worst by a wide
+// margin; risky slightly ahead of f-risky on makespan; secure has zero
+// failures and zero risk; f-risky N_fail ~ half of risky's.
+#include "bench_common.hpp"
+
+using namespace gridsched;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Figure 8 -- 7 algorithms on the NAS trace (N=" +
+          std::to_string(args.nas_jobs) + ", 12 sites)",
+      "STGA best makespan/slowdown/response; secure worst (~+30% makespan, "
+      "~2x response); secure: N_risk = N_fail = 0; f-risky N_fail ~ half of "
+      "risky");
+
+  const exp::Scenario scenario = exp::nas_scenario(args.nas_jobs);
+  util::Table table({"algorithm", "makespan (s)", "N_fail", "N_risk",
+                     "slowdown", "avg response (s)", "avg util"});
+
+  for (const auto& spec : exp::paper_roster(args.f, bench::paper_stga())) {
+    const auto result =
+        exp::run_replicated(scenario, spec, args.reps, args.seed);
+    const auto& agg = result.aggregate;
+    table.row()
+        .cell(spec.name)
+        .cell(agg.makespan().mean(), 3)
+        .cell(agg.n_fail().mean(), 0)
+        .cell(agg.n_risk().mean(), 0)
+        .cell(agg.slowdown().mean(), 2)
+        .cell(agg.avg_response().mean(), 3)
+        .cell(agg.avg_utilization().mean(), 3);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 9(a-c): per-site utilization (%) across the 12 NAS sites for the
+// Min-Min family, the Sufferage family, and the three best performers.
+// Expected shape: secure leaves the low-SL sites idle (~3 of 12 unused);
+// f-risky leaves fewer idle; risky and STGA leave none, with STGA the most
+// balanced.
+#include "bench_common.hpp"
+
+using namespace gridsched;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Figure 9 -- per-site utilization (%) on the NAS trace (N=" +
+          std::to_string(args.nas_jobs) + ")",
+      "secure: ~3 idle sites; f-risky: fewer idle; risky/STGA: none idle, "
+      "STGA most balanced");
+
+  const exp::Scenario scenario = exp::nas_scenario(args.nas_jobs);
+  const auto roster = exp::paper_roster(args.f, bench::paper_stga());
+
+  std::vector<std::string> headers = {"site"};
+  for (const auto& spec : roster) headers.push_back(spec.name);
+  util::Table table(std::move(headers));
+
+  std::vector<std::vector<double>> per_algorithm;
+  std::vector<std::size_t> idle_counts;
+  for (const auto& spec : roster) {
+    const auto result =
+        exp::run_replicated(scenario, spec, args.reps, args.seed);
+    std::vector<double> utils;
+    std::size_t idle = 0;
+    for (const auto& stats : result.aggregate.site_utilization()) {
+      utils.push_back(100.0 * stats.mean());
+      if (stats.mean() < 0.01) ++idle;
+    }
+    per_algorithm.push_back(std::move(utils));
+    idle_counts.push_back(idle);
+    std::fflush(stdout);
+  }
+
+  const std::size_t n_sites = per_algorithm.front().size();
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    table.row().cell(s + 1);
+    for (const auto& utils : per_algorithm) table.cell(utils[s], 1);
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("Idle sites (<1%% utilization):");
+  for (std::size_t a = 0; a < roster.size(); ++a) {
+    std::printf("  %s=%zu", roster[a].name.c_str(), idle_counts[a]);
+  }
+  std::printf("\n");
+  return 0;
+}

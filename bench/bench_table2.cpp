@@ -1,0 +1,60 @@
+// Table 2: global comparison on the NAS trace -- alpha (makespan ratio vs
+// STGA), beta (response-time ratio vs STGA) and the holistic ranking.
+// Expected shape: alpha, beta > 1 for every heuristic; within each family
+// secure > f-risky > risky; ranking STGA 1st, risky 2nd, f-risky 3rd,
+// secure 4th.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+using namespace gridsched;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_banner(
+      "Table 2 -- alpha/beta ratios vs STGA on the NAS trace (N=" +
+          std::to_string(args.nas_jobs) + ")",
+      "paper: Min-Min 1.314/2.035 (secure), 1.157/1.441 (0.5-risky), "
+      "1.094/1.262 (risky); Sufferage 1.307/2.011, 1.181/1.555, 1.102/1.275; "
+      "ranking secure 4th, f-risky 3rd, risky 2nd, STGA 1st");
+
+  const exp::Scenario scenario = exp::nas_scenario(args.nas_jobs);
+  const auto roster = exp::paper_roster(args.f, bench::paper_stga());
+
+  struct Row {
+    std::string name;
+    double makespan = 0.0;
+    double response = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const auto& spec : roster) {
+    const auto result =
+        exp::run_replicated(scenario, spec, args.reps, args.seed);
+    rows.push_back({spec.name, result.aggregate.makespan().mean(),
+                    result.aggregate.avg_response().mean()});
+    std::fflush(stdout);
+  }
+  const Row& stga = rows.back();
+
+  // Holistic rank by alpha + beta (ties share a rank), STGA pinned first.
+  std::vector<double> scores;
+  for (const Row& row : rows) {
+    scores.push_back(row.makespan / stga.makespan +
+                     row.response / stga.response);
+  }
+  util::Table table({"algorithm", "alpha (makespan ratio)",
+                     "beta (response ratio)", "rank"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::size_t rank = 1;
+    for (const double other : scores) {
+      if (other < scores[i] - 1e-12) ++rank;
+    }
+    table.row()
+        .cell(rows[i].name)
+        .cell(rows[i].makespan / stga.makespan, 3)
+        .cell(rows[i].response / stga.response, 3)
+        .cell(rank);
+  }
+  std::printf("%s\n", table.str().c_str());
+  return 0;
+}

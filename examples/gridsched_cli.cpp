@@ -1,0 +1,180 @@
+// gridsched_cli — the full simulator as a command-line tool.
+//
+// Subcommands:
+//   generate  --kind=nas|psa --jobs=N --seed=S --out-jobs=F --out-sites=F
+//             Generate a workload and write it as trace files.
+//   describe  --trace=F
+//             Print summary statistics of a job trace.
+//   run       [--trace=F --sites=F | --kind=nas|psa --jobs=N] --algo=NAME
+//             --mode=secure|f-risky|risky [--f=0.5] [--seed=S]
+//             [--batch-interval=T] [--lambda=L] [--csv]
+//             Simulate and print the paper's metrics. --algo is one of the
+//             registry heuristics ("min-min", "sufferage", "max-min",
+//             "mct", "met", "olb"), "stga" or "ga".
+//   roster    [--kind=nas|psa --jobs=N --reps=R --seed=S]
+//             Run the paper's 7-algorithm comparison.
+#include <cstdio>
+#include <string>
+
+#include "gridsched.hpp"
+#include "workload/stats.hpp"
+
+using namespace gridsched;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gridsched_cli <generate|describe|run|roster> [flags]\n"
+               "see the header of examples/gridsched_cli.cpp for details\n");
+  return 2;
+}
+
+exp::Scenario scenario_from(const util::Cli& cli) {
+  const std::string kind = cli.get_or("kind", std::string("psa"));
+  const auto jobs = static_cast<std::size_t>(
+      cli.get_or("jobs", std::int64_t{kind == "nas" ? 2000 : 500}));
+  exp::Scenario scenario =
+      kind == "nas" ? exp::nas_scenario(jobs) : exp::psa_scenario(jobs);
+  scenario.engine.batch_interval =
+      cli.get_or("batch-interval", scenario.engine.batch_interval);
+  scenario.engine.lambda = cli.get_or("lambda", scenario.engine.lambda);
+  return scenario;
+}
+
+security::RiskPolicy policy_from(const util::Cli& cli) {
+  const std::string mode = cli.get_or("mode", std::string("f-risky"));
+  const double f = cli.get_or("f", 0.5);
+  const double lambda =
+      cli.get_or("lambda", security::kDefaultLambda);
+  if (mode == "secure") return security::RiskPolicy::secure(lambda);
+  if (mode == "risky") return security::RiskPolicy::risky(lambda);
+  if (mode == "f-risky") return security::RiskPolicy::f_risky(f, lambda);
+  throw std::invalid_argument("unknown --mode: " + mode);
+}
+
+int cmd_generate(const util::Cli& cli) {
+  const auto seed =
+      static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
+  const exp::Scenario scenario = scenario_from(cli);
+  const workload::Workload workload = exp::make_workload(scenario, seed);
+  const std::string out_jobs =
+      cli.get_or("out-jobs", workload.name + "_jobs.trace");
+  const std::string out_sites =
+      cli.get_or("out-sites", workload.name + "_sites.trace");
+  workload::write_jobs_file(out_jobs, workload.jobs);
+  workload::write_sites_file(out_sites, workload.sites);
+  std::printf("wrote %zu jobs to %s and %zu sites to %s\n",
+              workload.jobs.size(), out_jobs.c_str(), workload.sites.size(),
+              out_sites.c_str());
+  return 0;
+}
+
+int cmd_describe(const util::Cli& cli) {
+  const auto path = cli.get("trace");
+  if (!path) return usage();
+  const auto jobs = workload::read_jobs_file(*path);
+  const auto stats = workload::characterize(jobs);
+  std::printf("%s", workload::describe(stats).c_str());
+  return 0;
+}
+
+void print_metrics(const std::string& name, const metrics::RunMetrics& run,
+                   bool csv) {
+  if (csv) {
+    util::Table table({"algorithm", "makespan", "avg_response", "slowdown",
+                       "n_risk", "n_fail", "avg_utilization"});
+    table.row().cell(name).cell(run.makespan, 6).cell(run.avg_response, 6)
+        .cell(run.slowdown_ratio, 6).cell(run.n_risk).cell(run.n_fail)
+        .cell(run.avg_utilization, 6);
+    std::printf("%s", table.csv().c_str());
+    return;
+  }
+  std::printf("algorithm:        %s\n", name.c_str());
+  std::printf("makespan:         %.0f s\n", run.makespan);
+  std::printf("avg response:     %.0f s\n", run.avg_response);
+  std::printf("slowdown ratio:   %.2f\n", run.slowdown_ratio);
+  std::printf("risk-taking jobs: %zu\n", run.n_risk);
+  std::printf("failed jobs:      %zu\n", run.n_fail);
+  std::printf("avg utilization:  %.1f%%\n", 100.0 * run.avg_utilization);
+  std::printf("scheduler time:   %.3f s over %zu batches\n",
+              run.scheduler_seconds, run.batch_invocations);
+}
+
+int cmd_run(const util::Cli& cli) {
+  const auto seed =
+      static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
+  const std::string algo = cli.get_or("algo", std::string("min-min"));
+  const bool csv = cli.get_or("csv", false);
+
+  // Resolve the scheduler.
+  exp::AlgorithmSpec spec;
+  if (algo == "stga") {
+    spec = exp::stga_spec();
+  } else if (algo == "ga") {
+    spec = exp::classic_ga_spec();
+  } else {
+    spec = exp::heuristic_spec(algo, policy_from(cli));
+  }
+
+  if (cli.has("trace") && cli.has("sites")) {
+    // Replay mode: explicit traces, direct engine drive.
+    const auto jobs = workload::read_jobs_file(*cli.get("trace"));
+    const auto sites = workload::read_sites_file(*cli.get("sites"));
+    sim::EngineConfig config;
+    config.batch_interval = cli.get_or("batch-interval", 2000.0);
+    config.lambda = cli.get_or("lambda", security::kDefaultLambda);
+    config.seed = seed;
+    auto scheduler = spec.make(nullptr, seed);
+    sim::Engine engine(sites, jobs, config);
+    engine.run(*scheduler);
+    print_metrics(scheduler->name(), metrics::compute_metrics(engine), csv);
+    return 0;
+  }
+
+  const exp::Scenario scenario = scenario_from(cli);
+  const metrics::RunMetrics run = exp::run_once(scenario, spec, seed);
+  print_metrics(spec.name, run, csv);
+  return 0;
+}
+
+int cmd_roster(const util::Cli& cli) {
+  const auto seed =
+      static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
+  const auto reps =
+      static_cast<std::size_t>(cli.get_or("reps", std::int64_t{1}));
+  const exp::Scenario scenario = scenario_from(cli);
+  util::Table table({"algorithm", "makespan (s)", "response (s)", "slowdown",
+                     "N_fail", "N_risk"});
+  for (const auto& spec : exp::paper_roster(cli.get_or("f", 0.5))) {
+    const auto result = exp::run_replicated(scenario, spec, reps, seed);
+    table.row()
+        .cell(spec.name)
+        .cell(result.aggregate.makespan().mean(), 3)
+        .cell(result.aggregate.avg_response().mean(), 3)
+        .cell(result.aggregate.slowdown().mean(), 2)
+        .cell(result.aggregate.n_fail().mean(), 0)
+        .cell(result.aggregate.n_risk().mean(), 0);
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  if (cli.positional().empty()) return usage();
+  const std::string& command = cli.positional().front();
+  try {
+    if (command == "generate") return cmd_generate(cli);
+    if (command == "describe") return cmd_describe(cli);
+    if (command == "run") return cmd_run(cli);
+    if (command == "roster") return cmd_roster(cli);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,108 @@
+#include "core/ga_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/operators.hpp"
+
+namespace gridsched::core {
+
+namespace {
+
+void evaluate_all(const GaProblem& problem,
+                  const std::vector<Chromosome>& population,
+                  std::vector<double>& fitness, const GaParams& params,
+                  util::ThreadPool* pool) {
+  fitness.resize(population.size());
+  const std::size_t volume = population.size() * problem.n_jobs();
+  if (pool != nullptr && volume >= params.parallel_threshold) {
+    pool->parallel_for(population.size(), [&](std::size_t i) {
+      fitness[i] = decode_fitness(problem, population[i], params.fitness);
+    });
+  } else {
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      fitness[i] = decode_fitness(problem, population[i], params.fitness);
+    }
+  }
+}
+
+}  // namespace
+
+GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
+                const GaParams& params, util::Rng& rng,
+                util::ThreadPool* pool) {
+  if (problem.n_jobs() == 0) {
+    throw std::invalid_argument("evolve: empty problem");
+  }
+  if (params.population == 0) {
+    throw std::invalid_argument("evolve: population must be > 0");
+  }
+
+  std::vector<Chromosome> population = std::move(initial);
+  for (Chromosome& chromosome : population) {
+    if (chromosome.size() != problem.n_jobs() ||
+        !is_feasible(problem, chromosome)) {
+      throw std::invalid_argument("evolve: infeasible seed chromosome");
+    }
+  }
+  if (population.size() > params.population) {
+    population.resize(params.population);
+  }
+  while (population.size() < params.population) {
+    population.push_back(random_chromosome(problem, rng));
+  }
+
+  std::vector<double> fitness;
+  evaluate_all(problem, population, fitness, params, pool);
+
+  GaResult result;
+  result.best_per_generation.reserve(params.generations + 1);
+  auto record_best = [&] {
+    const std::size_t arg = static_cast<std::size_t>(
+        std::min_element(fitness.begin(), fitness.end()) - fitness.begin());
+    if (result.best.empty() || fitness[arg] < result.best_fitness) {
+      result.best = population[arg];
+      result.best_fitness = fitness[arg];
+    }
+    result.best_per_generation.push_back(result.best_fitness);
+  };
+  record_best();
+
+  std::vector<Chromosome> next;
+  next.reserve(params.population);
+  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+    next.clear();
+
+    // Elitism: carry the best individuals over unchanged.
+    const std::size_t elites = std::min(params.elite_count, population.size());
+    if (elites > 0) {
+      std::vector<std::size_t> order(population.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(elites),
+                        order.end(), [&](std::size_t a, std::size_t b) {
+                          return fitness[a] < fitness[b];
+                        });
+      for (std::size_t e = 0; e < elites; ++e) next.push_back(population[order[e]]);
+    }
+
+    while (next.size() < params.population) {
+      Chromosome child_a = population[roulette_select(fitness, rng)];
+      Chromosome child_b = population[roulette_select(fitness, rng)];
+      if (rng.bernoulli(params.crossover_prob)) {
+        crossover_one_point(child_a, child_b, rng);
+      }
+      mutate(child_a, problem, params.mutation_prob, rng);
+      mutate(child_b, problem, params.mutation_prob, rng);
+      next.push_back(std::move(child_a));
+      if (next.size() < params.population) next.push_back(std::move(child_b));
+    }
+
+    population.swap(next);
+    evaluate_all(problem, population, fitness, params, pool);
+    record_best();
+  }
+  return result;
+}
+
+}  // namespace gridsched::core

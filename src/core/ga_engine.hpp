@@ -1,0 +1,42 @@
+// Generational GA loop with elitism and optional parallel fitness
+// evaluation. Shared by the classic GA baseline and the STGA (which differ
+// only in how the initial population is built).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ga_problem.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gridsched::core {
+
+struct GaParams {
+  std::size_t population = 200;   ///< paper Table 1
+  std::size_t generations = 100;  ///< paper Table 1
+  double crossover_prob = 0.8;    ///< paper Table 1
+  double mutation_prob = 0.01;    ///< paper Table 1 (per gene)
+  std::size_t elite_count = 2;    ///< elitism (paper Section 3)
+  /// Objective shaping (expected completion + flowtime; see decode_fitness).
+  FitnessParams fitness;
+  /// Evaluate fitness on the thread pool when population * batch size
+  /// exceeds this (parallelism never changes results: evaluation is pure).
+  std::size_t parallel_threshold = 1 << 14;
+};
+
+struct GaResult {
+  Chromosome best;
+  double best_fitness = 0.0;
+  /// Best fitness seen up to and including each generation (length =
+  /// generations + 1, entry 0 = initial population). Drives Fig. 7(b).
+  std::vector<double> best_per_generation;
+};
+
+/// Run the GA. `initial` chromosomes seed the population (truncated or
+/// topped up with random feasible chromosomes to `params.population`).
+GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
+                const GaParams& params, util::Rng& rng,
+                util::ThreadPool* pool = nullptr);
+
+}  // namespace gridsched::core

@@ -1,0 +1,112 @@
+#include "core/ga_problem.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "sched/risk_filter.hpp"
+
+namespace gridsched::core {
+
+GaProblem build_problem(const sim::SchedulerContext& context,
+                        const security::RiskPolicy& policy) {
+  GaProblem problem;
+  problem.now = context.now;
+  problem.sites = context.sites;
+  problem.avail = context.avail;
+
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    std::vector<sim::SiteId> domain =
+        sched::admissible_sites(context.jobs[j], context.sites, policy);
+    if (domain.empty()) continue;  // stays pending this round
+    problem.jobs.push_back(context.jobs[j]);
+    problem.batch_index.push_back(j);
+    problem.domains.push_back(std::move(domain));
+  }
+
+  const std::size_t n_sites = problem.sites.size();
+  problem.exec.assign(problem.jobs.size() * n_sites,
+                      std::numeric_limits<double>::infinity());
+  problem.pfail.assign(problem.jobs.size() * n_sites, 0.0);
+  for (std::size_t j = 0; j < problem.jobs.size(); ++j) {
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      if (problem.jobs[j].nodes <= problem.sites[s].nodes) {
+        problem.exec[j * n_sites + s] =
+            problem.jobs[j].work / problem.sites[s].speed;
+      }
+      problem.pfail[j * n_sites + s] = security::failure_probability(
+          problem.jobs[j].demand, problem.sites[s].security, policy.lambda());
+    }
+  }
+  return problem;
+}
+
+std::vector<std::size_t> decode_order(const GaProblem& problem,
+                                      const Chromosome& chromosome) {
+  std::vector<std::size_t> order(chromosome.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return problem.exec_at(a, chromosome[a]) <
+                            problem.exec_at(b, chromosome[b]);
+                   });
+  return order;
+}
+
+namespace {
+
+/// Shared decode: reserve shortest-first, feed each job's expected
+/// completion to `consume(job_index, expected_completion)`.
+template <typename Consume>
+void decode(const GaProblem& problem, const Chromosome& chromosome,
+            double risk_penalty, Consume&& consume) {
+  if (chromosome.size() != problem.n_jobs()) {
+    throw std::invalid_argument("decode: chromosome length mismatch");
+  }
+  std::vector<sim::NodeAvailability> avail = problem.avail;
+  for (const std::size_t j : decode_order(problem, chromosome)) {
+    const sim::SiteId s = chromosome[j];
+    const double exec = problem.exec_at(j, s);
+    const auto window =
+        avail[s].reserve(problem.jobs[j].nodes, exec, problem.now);
+    consume(j, window.end + risk_penalty * problem.pfail_at(j, s) * exec);
+  }
+}
+
+}  // namespace
+
+double decode_fitness(const GaProblem& problem, const Chromosome& chromosome,
+                      const FitnessParams& params) {
+  double worst = problem.now;
+  double sum = 0.0;
+  decode(problem, chromosome, params.risk_penalty_weight,
+         [&](std::size_t, double expected) {
+           worst = std::max(worst, expected);
+           sum += expected - problem.now;
+         });
+  const double mean =
+      chromosome.empty() ? 0.0 : sum / static_cast<double>(chromosome.size());
+  return worst + params.flowtime_weight * mean;
+}
+
+double batch_makespan(const GaProblem& problem, const Chromosome& chromosome) {
+  double makespan = problem.now;
+  decode(problem, chromosome, 0.0, [&](std::size_t, double completion) {
+    makespan = std::max(makespan, completion);
+  });
+  return makespan;
+}
+
+bool is_feasible(const GaProblem& problem, const Chromosome& chromosome) {
+  if (chromosome.size() != problem.n_jobs()) return false;
+  for (std::size_t j = 0; j < chromosome.size(); ++j) {
+    const auto& domain = problem.domains[j];
+    if (std::find(domain.begin(), domain.end(), chromosome[j]) == domain.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gridsched::core

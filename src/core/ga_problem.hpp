@@ -1,0 +1,81 @@
+// The GA's view of one scheduling round: the schedulable subset of the
+// batch, per-job site domains (risk-filtered), execution times, and the
+// committed availability profiles. The chromosome encoding is the paper's
+// Fig. 4: an array with one site gene per batch job.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "security/security.hpp"
+#include "sim/scheduling.hpp"
+
+namespace gridsched::core {
+
+using Chromosome = std::vector<sim::SiteId>;
+
+struct GaProblem {
+  sim::Time now = 0.0;
+  std::vector<sim::BatchJob> jobs;          ///< GA-schedulable jobs
+  std::vector<std::size_t> batch_index;     ///< original indices in the context
+  std::vector<sim::SiteConfig> sites;
+  std::vector<sim::NodeAvailability> avail; ///< committed profiles, per site
+  /// Admissible sites per job (never empty for jobs kept in `jobs`).
+  std::vector<std::vector<sim::SiteId>> domains;
+  /// Flattened jobs x sites execution times (infinity when infeasible).
+  std::vector<double> exec;
+  /// Flattened jobs x sites Eq. 1 failure probabilities.
+  std::vector<double> pfail;
+
+  [[nodiscard]] std::size_t n_jobs() const noexcept { return jobs.size(); }
+  [[nodiscard]] std::size_t n_sites() const noexcept { return sites.size(); }
+  [[nodiscard]] double exec_at(std::size_t j, std::size_t s) const {
+    return exec[j * n_sites() + s];
+  }
+  [[nodiscard]] double pfail_at(std::size_t j, std::size_t s) const {
+    return pfail[j * n_sites() + s];
+  }
+};
+
+/// Build the GA subproblem from a scheduler context. Jobs whose admissible
+/// set under `policy` is empty are dropped (they stay pending in the
+/// engine). The fail-stop rule for secure_only jobs is enforced by the
+/// admissibility filter regardless of `policy`. `policy.lambda()` feeds the
+/// failure-probability matrix.
+GaProblem build_problem(const sim::SchedulerContext& context,
+                        const security::RiskPolicy& policy);
+
+/// Fitness shaping knobs (see decode_fitness).
+struct FitnessParams {
+  /// Weight of the mean expected completion (flow time) relative to the
+  /// batch makespan. 0 = pure makespan, the paper's stated objective; a
+  /// small positive weight also serves average response time.
+  double flowtime_weight = 0.6;
+  /// Weight of the expected rework term p_fail * exec added to each job's
+  /// completion. A fail-stop restart costs roughly the wasted half run plus
+  /// a re-queue and a full re-execution on a safe site, i.e. ~2x exec.
+  double risk_penalty_weight = 2.0;
+};
+
+/// Decode a chromosome into a schedule and score it (lower is better).
+/// Jobs are reserved shortest-execution-first (the dispatch order the
+/// GaScheduler realises). Each job's expected completion is
+///   c_j + risk_penalty_weight * pfail_j * exec_j
+/// and the fitness is max_j(expected) + flowtime_weight * mean_j(expected
+/// - now). Genes must lie in the job's domain.
+double decode_fitness(const GaProblem& problem, const Chromosome& chromosome,
+                      const FitnessParams& params);
+
+/// Pure realized batch makespan (absolute latest completion; no risk or
+/// flowtime shaping), with the same shortest-first decode order.
+double batch_makespan(const GaProblem& problem, const Chromosome& chromosome);
+
+/// The shortest-execution-first order in which a chromosome's assignments
+/// are reserved/dispatched (stable for ties).
+std::vector<std::size_t> decode_order(const GaProblem& problem,
+                                      const Chromosome& chromosome);
+
+/// True iff every gene is a member of the corresponding job's domain.
+bool is_feasible(const GaProblem& problem, const Chromosome& chromosome);
+
+}  // namespace gridsched::core

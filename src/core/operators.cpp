@@ -1,0 +1,72 @@
+#include "core/operators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gridsched::core {
+
+Chromosome random_chromosome(const GaProblem& problem, util::Rng& rng) {
+  Chromosome chromosome(problem.n_jobs());
+  for (std::size_t j = 0; j < chromosome.size(); ++j) {
+    const auto& domain = problem.domains[j];
+    chromosome[j] = domain[rng.index(domain.size())];
+  }
+  return chromosome;
+}
+
+std::size_t roulette_select(std::span<const double> fitness, util::Rng& rng) {
+  if (fitness.empty()) throw std::invalid_argument("roulette_select: empty");
+  const auto [min_it, max_it] = std::minmax_element(fitness.begin(), fitness.end());
+  const double worst = *max_it;
+  const double range = worst - *min_it;
+  if (range <= 0.0) return rng.index(fitness.size());  // all equal: uniform
+  // Floor of 10% of the range keeps the worst individual selectable.
+  const double floor = 0.1 * range;
+  double total = 0.0;
+  for (const double f : fitness) total += (worst - f) + floor;
+  double ticket = rng.uniform() * total;
+  for (std::size_t i = 0; i < fitness.size(); ++i) {
+    ticket -= (worst - fitness[i]) + floor;
+    if (ticket <= 0.0) return i;
+  }
+  return fitness.size() - 1;  // numeric edge
+}
+
+void crossover_one_point(Chromosome& a, Chromosome& b, util::Rng& rng) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("crossover: length mismatch");
+  }
+  if (a.size() < 2) return;
+  const auto cut = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(a.size()) - 1));
+  for (std::size_t i = cut; i < a.size(); ++i) std::swap(a[i], b[i]);
+}
+
+void mutate(Chromosome& chromosome, const GaProblem& problem, double per_gene,
+            util::Rng& rng) {
+  for (std::size_t j = 0; j < chromosome.size(); ++j) {
+    if (!rng.bernoulli(per_gene)) continue;
+    const auto& domain = problem.domains[j];
+    chromosome[j] = domain[rng.index(domain.size())];
+  }
+}
+
+void repair(Chromosome& chromosome, const GaProblem& problem, util::Rng& rng) {
+  for (std::size_t j = 0; j < chromosome.size(); ++j) {
+    const auto& domain = problem.domains[j];
+    if (std::find(domain.begin(), domain.end(), chromosome[j]) == domain.end()) {
+      chromosome[j] = domain[rng.index(domain.size())];
+    }
+  }
+}
+
+Chromosome resample_genes(const Chromosome& source, std::size_t target_size) {
+  if (source.empty()) throw std::invalid_argument("resample_genes: empty source");
+  Chromosome out(target_size);
+  for (std::size_t i = 0; i < target_size; ++i) {
+    out[i] = source[i * source.size() / std::max<std::size_t>(target_size, 1)];
+  }
+  return out;
+}
+
+}  // namespace gridsched::core

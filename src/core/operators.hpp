@@ -1,0 +1,40 @@
+// Genetic operators (paper Section 3): value-based roulette-wheel
+// selection, single-point crossover, per-gene domain mutation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/ga_problem.hpp"
+#include "util/rng.hpp"
+
+namespace gridsched::core {
+
+/// Uniformly random feasible chromosome.
+Chromosome random_chromosome(const GaProblem& problem, util::Rng& rng);
+
+/// Roulette-wheel selection for a minimisation objective: each candidate's
+/// wheel share is (worst - fitness) plus a floor so the worst candidate
+/// keeps a small non-zero probability. Returns the selected index.
+std::size_t roulette_select(std::span<const double> fitness, util::Rng& rng);
+
+/// Single-point crossover: swap the tails of a and b after a random cut in
+/// [1, len-1]. No-op for chromosomes shorter than 2 genes. Genes keep their
+/// positions, so feasibility is preserved.
+void crossover_one_point(Chromosome& a, Chromosome& b, util::Rng& rng);
+
+/// Mutate each gene with probability `per_gene` to a random (possibly
+/// different) site from the job's domain.
+void mutate(Chromosome& chromosome, const GaProblem& problem, double per_gene,
+            util::Rng& rng);
+
+/// Clamp every gene into its job's domain, replacing foreign genes with a
+/// random domain member. Used to adapt historical chromosomes.
+void repair(Chromosome& chromosome, const GaProblem& problem, util::Rng& rng);
+
+/// Nearest-neighbour resampling of a gene array to a new length (used when
+/// a historical batch had a different size; DESIGN.md S9).
+Chromosome resample_genes(const Chromosome& source, std::size_t target_size);
+
+}  // namespace gridsched::core

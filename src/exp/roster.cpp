@@ -1,0 +1,61 @@
+#include "exp/roster.hpp"
+
+#include "sched/registry.hpp"
+
+namespace gridsched::exp {
+
+AlgorithmSpec heuristic_spec(const std::string& heuristic_name,
+                             security::RiskPolicy policy) {
+  AlgorithmSpec spec;
+  auto probe = sched::make_heuristic(heuristic_name, policy);  // validates name
+  spec.name = probe->name();
+  spec.make = [heuristic_name, policy](util::ThreadPool*, std::uint64_t) {
+    return sched::make_heuristic(heuristic_name, policy);
+  };
+  return spec;
+}
+
+AlgorithmSpec stga_spec(core::StgaConfig config) {
+  AlgorithmSpec spec;
+  spec.name = "STGA";
+  spec.wants_training = true;
+  spec.make = [config](util::ThreadPool* pool, std::uint64_t seed) {
+    core::StgaConfig per_run = config;
+    per_run.seed = seed;
+    return core::make_stga(per_run, pool);
+  };
+  return spec;
+}
+
+AlgorithmSpec classic_ga_spec(core::StgaConfig config) {
+  AlgorithmSpec spec;
+  spec.name = "GA";
+  spec.make = [config](util::ThreadPool* pool, std::uint64_t seed) {
+    core::StgaConfig per_run = config;
+    per_run.seed = seed;
+    return core::make_classic_ga(per_run, pool);
+  };
+  return spec;
+}
+
+std::vector<AlgorithmSpec> paper_roster(double f, core::StgaConfig stga) {
+  std::vector<AlgorithmSpec> roster;
+  roster.push_back(heuristic_spec("min-min", security::RiskPolicy::secure()));
+  roster.push_back(heuristic_spec("min-min", security::RiskPolicy::f_risky(f)));
+  roster.push_back(heuristic_spec("min-min", security::RiskPolicy::risky()));
+  roster.push_back(heuristic_spec("sufferage", security::RiskPolicy::secure()));
+  roster.push_back(heuristic_spec("sufferage", security::RiskPolicy::f_risky(f)));
+  roster.push_back(heuristic_spec("sufferage", security::RiskPolicy::risky()));
+  roster.push_back(stga_spec(stga));
+  return roster;
+}
+
+std::vector<AlgorithmSpec> scaling_roster(double f, core::StgaConfig stga) {
+  std::vector<AlgorithmSpec> roster;
+  roster.push_back(heuristic_spec("min-min", security::RiskPolicy::f_risky(f)));
+  roster.push_back(heuristic_spec("sufferage", security::RiskPolicy::f_risky(f)));
+  roster.push_back(stga_spec(stga));
+  return roster;
+}
+
+}  // namespace gridsched::exp

@@ -1,0 +1,44 @@
+// The paper's algorithm roster: Min-Min and Sufferage under the three risk
+// modes, plus the STGA (7 algorithms), with optional extras (classic GA,
+// Max-Min/MCT/MET/OLB baselines).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ga_scheduler.hpp"
+#include "sim/scheduling.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gridsched::exp {
+
+struct AlgorithmSpec {
+  std::string name;
+  /// Fresh scheduler per run; `pool` may be null (serial GA fitness),
+  /// `seed` feeds the GA's stochastic components.
+  std::function<std::unique_ptr<sim::BatchScheduler>(util::ThreadPool* pool,
+                                                     std::uint64_t seed)>
+      make;
+  /// True for STGA-style schedulers that want the 500-job training phase.
+  bool wants_training = false;
+};
+
+/// The 7 algorithms of Figures 8-9 / Table 2, in the paper's order:
+/// Min-Min secure / f-risky / risky, Sufferage secure / f-risky / risky,
+/// STGA. `f` defaults to the paper's 0.5.
+std::vector<AlgorithmSpec> paper_roster(double f = 0.5,
+                                        core::StgaConfig stga = {});
+
+/// The three best performers used in the Fig. 10 scaling study.
+std::vector<AlgorithmSpec> scaling_roster(double f = 0.5,
+                                          core::StgaConfig stga = {});
+
+/// Single-algorithm specs, composable in custom experiments.
+AlgorithmSpec heuristic_spec(const std::string& heuristic_name,
+                             security::RiskPolicy policy);
+AlgorithmSpec stga_spec(core::StgaConfig config = {});
+AlgorithmSpec classic_ga_spec(core::StgaConfig config = {});
+
+}  // namespace gridsched::exp

@@ -1,0 +1,93 @@
+#include "exp/runner.hpp"
+
+#include "core/ga_scheduler.hpp"
+#include "sched/heuristics.hpp"
+
+namespace gridsched::exp {
+
+namespace {
+
+/// Paper bootstrap (DESIGN.md S8): schedule training jobs with Min-Min and
+/// Sufferage (half each), recording every batch solution into the STGA's
+/// history table.
+void train_stga(const Scenario& scenario, const workload::Workload& main,
+                core::GaScheduler& stga, std::uint64_t seed) {
+  const std::size_t total = scenario.training_jobs;
+  if (total == 0) return;
+  const std::size_t half = total / 2;
+
+  struct Phase {
+    std::size_t jobs;
+    bool use_sufferage;
+    std::uint64_t salt;
+  };
+  const Phase phases[] = {{total - half, false, 0xB001}, {half, true, 0xB002}};
+  for (const Phase& phase : phases) {
+    if (phase.jobs == 0) continue;
+    const std::uint64_t phase_seed =
+        util::Rng::child(seed, phase.salt).next_u64();
+    workload::Workload training =
+        make_training_workload(scenario, main, phase.jobs, phase_seed);
+    std::unique_ptr<sched::HeuristicScheduler> heuristic;
+    if (phase.use_sufferage) {
+      heuristic = std::make_unique<sched::SufferageScheduler>(
+          security::RiskPolicy::risky());
+    } else {
+      heuristic = std::make_unique<sched::MinMinScheduler>(
+          security::RiskPolicy::risky());
+    }
+    core::RecordingScheduler recorder(*heuristic, stga);
+    sim::EngineConfig engine_config = scenario.engine;
+    engine_config.seed = phase_seed;
+    sim::Engine engine(training.sites, training.jobs, engine_config);
+    engine.run(recorder);
+  }
+}
+
+}  // namespace
+
+metrics::RunMetrics run_once(const Scenario& scenario, const AlgorithmSpec& spec,
+                             std::uint64_t seed, util::ThreadPool* ga_pool) {
+  const std::uint64_t workload_seed = util::Rng::child(seed, 1).next_u64();
+  const std::uint64_t engine_seed = util::Rng::child(seed, 2).next_u64();
+  const std::uint64_t algo_seed = util::Rng::child(seed, 3).next_u64();
+
+  workload::Workload workload = make_workload(scenario, workload_seed);
+  std::unique_ptr<sim::BatchScheduler> scheduler = spec.make(ga_pool, algo_seed);
+
+  if (spec.wants_training) {
+    if (auto* stga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {
+      train_stga(scenario, workload, *stga, seed);
+    }
+  }
+
+  sim::EngineConfig engine_config = scenario.engine;
+  engine_config.seed = engine_seed;
+  sim::Engine engine(workload.sites, workload.jobs, engine_config);
+  engine.run(*scheduler);
+  return metrics::compute_metrics(engine);
+}
+
+ReplicatedResult run_replicated(const Scenario& scenario,
+                                const AlgorithmSpec& spec,
+                                std::size_t replications,
+                                std::uint64_t base_seed,
+                                util::ThreadPool* pool) {
+  ReplicatedResult result;
+  result.runs.resize(replications);
+  auto one = [&](std::size_t r) {
+    const std::uint64_t seed = util::Rng::child(base_seed, r).next_u64();
+    // GA fitness stays serial inside each replication: the pool's workers
+    // are busy running replications and must not block on nested waits.
+    result.runs[r] = run_once(scenario, spec, seed, nullptr);
+  };
+  if (pool != nullptr && replications > 1) {
+    pool->parallel_for(replications, one, replications);
+  } else {
+    for (std::size_t r = 0; r < replications; ++r) one(r);
+  }
+  for (const auto& run : result.runs) result.aggregate.add(run);
+  return result;
+}
+
+}  // namespace gridsched::exp

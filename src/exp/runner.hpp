@@ -1,0 +1,36 @@
+// Experiment execution: single runs (with the STGA training phase when the
+// algorithm asks for it) and seed-replicated runs fanned out over a thread
+// pool. Results are bit-reproducible in (scenario, spec, seed) regardless
+// of thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/roster.hpp"
+#include "exp/scenario.hpp"
+#include "metrics/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gridsched::exp {
+
+/// Build workload, (optionally) run the training phase, simulate, measure.
+metrics::RunMetrics run_once(const Scenario& scenario, const AlgorithmSpec& spec,
+                             std::uint64_t seed,
+                             util::ThreadPool* ga_pool = nullptr);
+
+struct ReplicatedResult {
+  metrics::MetricsAggregate aggregate;
+  std::vector<metrics::RunMetrics> runs;  ///< per replication, in seed order
+};
+
+/// Run `replications` independent seeds (base_seed-derived). When `pool` is
+/// given, replications run concurrently and GA fitness evaluation stays
+/// serial inside each run (no nested blocking).
+ReplicatedResult run_replicated(const Scenario& scenario,
+                                const AlgorithmSpec& spec,
+                                std::size_t replications,
+                                std::uint64_t base_seed,
+                                util::ThreadPool* pool = nullptr);
+
+}  // namespace gridsched::exp

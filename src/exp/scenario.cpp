@@ -1,0 +1,53 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+
+namespace gridsched::exp {
+
+Scenario nas_scenario(std::size_t n_jobs) {
+  Scenario scenario;
+  scenario.kind = ScenarioKind::kNas;
+  scenario.nas.n_jobs = n_jobs;
+  // Keep the offered load constant when shrinking the job count for tests.
+  scenario.nas.horizon =
+      46.0 * 86400.0 * static_cast<double>(n_jobs) / 16000.0;
+  scenario.engine.batch_interval = 4000.0;
+  return scenario;
+}
+
+Scenario psa_scenario(std::size_t n_jobs) {
+  Scenario scenario;
+  scenario.kind = ScenarioKind::kPsa;
+  scenario.psa.n_jobs = n_jobs;
+  scenario.engine.batch_interval = 2000.0;
+  return scenario;
+}
+
+workload::Workload make_workload(const Scenario& scenario, std::uint64_t seed) {
+  if (scenario.kind == ScenarioKind::kNas) {
+    return workload::nas_workload(scenario.nas, seed);
+  }
+  return workload::psa_workload(scenario.psa, seed);
+}
+
+workload::Workload make_training_workload(const Scenario& scenario,
+                                          const workload::Workload& main,
+                                          std::size_t n_jobs,
+                                          std::uint64_t seed) {
+  Scenario training = scenario;
+  if (training.kind == ScenarioKind::kNas) {
+    const double fraction = static_cast<double>(n_jobs) /
+                            static_cast<double>(training.nas.n_jobs);
+    training.nas.n_jobs = n_jobs;
+    training.nas.horizon =
+        std::max(training.nas.horizon * fraction, 10.0 * 4000.0);
+  } else {
+    training.psa.n_jobs = n_jobs;
+  }
+  workload::Workload workload = make_workload(training, seed);
+  workload.name += "-training";
+  workload.sites = main.sites;  // identical grid => comparable signatures
+  return workload;
+}
+
+}  // namespace gridsched::exp

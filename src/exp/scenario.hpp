@@ -1,0 +1,42 @@
+// End-to-end experiment scenarios matching the paper's two testbeds
+// (Table 1), with the batch intervals of DESIGN.md S5.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "workload/nas.hpp"
+#include "workload/psa.hpp"
+#include "workload/workload.hpp"
+
+namespace gridsched::exp {
+
+enum class ScenarioKind { kNas, kPsa };
+
+struct Scenario {
+  ScenarioKind kind = ScenarioKind::kPsa;
+  workload::NasTraceConfig nas;
+  workload::PsaConfig psa;
+  sim::EngineConfig engine;
+  /// Training jobs for STGA-style schedulers (paper Table 1: 500).
+  std::size_t training_jobs = 500;
+};
+
+/// NAS trace testbed: 16 000 jobs / 12 sites / 46 days, 4000 s batches.
+Scenario nas_scenario(std::size_t n_jobs = 16000);
+
+/// PSA testbed: N jobs / 20 sites, 2000 s batches.
+Scenario psa_scenario(std::size_t n_jobs = 1000);
+
+/// Materialise the scenario's workload; deterministic in (scenario, seed).
+workload::Workload make_workload(const Scenario& scenario, std::uint64_t seed);
+
+/// A reduced copy of the scenario used for the STGA training phase
+/// (`n_jobs` jobs over a proportionally shorter horizon) that reuses the
+/// main run's sites so availability/security signatures are comparable.
+workload::Workload make_training_workload(const Scenario& scenario,
+                                          const workload::Workload& main,
+                                          std::size_t n_jobs,
+                                          std::uint64_t seed);
+
+}  // namespace gridsched::exp

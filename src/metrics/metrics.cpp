@@ -1,0 +1,74 @@
+#include "metrics/metrics.hpp"
+
+#include <stdexcept>
+
+namespace gridsched::metrics {
+
+RunMetrics compute_metrics(const sim::Engine& engine) {
+  RunMetrics metrics;
+  const auto& jobs = engine.jobs();
+  metrics.n_jobs = jobs.size();
+
+  double response_sum = 0.0;
+  double exec_sum = 0.0;
+  double job_slowdown_sum = 0.0;
+  for (const sim::Job& job : jobs) {
+    if (job.state != sim::JobState::kCompleted) {
+      throw std::invalid_argument("compute_metrics: engine has unfinished jobs");
+    }
+    if (job.took_risk) ++metrics.n_risk;
+    if (job.failures > 0) ++metrics.n_fail;
+    metrics.total_attempts += job.attempts;
+    const double response = job.finish - job.arrival;
+    const double final_exec = job.finish - job.last_start;
+    response_sum += response;
+    exec_sum += final_exec;
+    if (final_exec > 0.0) job_slowdown_sum += response / final_exec;
+  }
+
+  metrics.makespan = engine.makespan();
+  if (!jobs.empty()) {
+    const auto n = static_cast<double>(jobs.size());
+    metrics.avg_response = response_sum / n;
+    metrics.avg_final_exec = exec_sum / n;
+    metrics.slowdown_ratio =
+        exec_sum > 0.0 ? response_sum / exec_sum : 0.0;  // Eq. 3
+    metrics.mean_job_slowdown = job_slowdown_sum / n;
+  }
+
+  metrics.batch_invocations = engine.counters().batch_invocations;
+  metrics.scheduler_seconds = engine.counters().scheduler_seconds;
+
+  metrics.site_utilization.reserve(engine.sites().size());
+  double util_sum = 0.0;
+  for (const sim::GridSite& site : engine.sites()) {
+    const double util = site.utilization(engine.makespan());
+    metrics.site_utilization.push_back(util);
+    util_sum += util;
+    if (util < 0.01) ++metrics.idle_sites;
+  }
+  if (!engine.sites().empty()) {
+    metrics.avg_utilization =
+        util_sum / static_cast<double>(engine.sites().size());
+  }
+  return metrics;
+}
+
+void MetricsAggregate::add(const RunMetrics& run) {
+  ++runs_;
+  makespan_.add(run.makespan);
+  response_.add(run.avg_response);
+  slowdown_.add(run.slowdown_ratio);
+  n_risk_.add(static_cast<double>(run.n_risk));
+  n_fail_.add(static_cast<double>(run.n_fail));
+  avg_util_.add(run.avg_utilization);
+  sched_seconds_.add(run.scheduler_seconds);
+  if (site_util_.size() < run.site_utilization.size()) {
+    site_util_.resize(run.site_utilization.size());
+  }
+  for (std::size_t s = 0; s < run.site_utilization.size(); ++s) {
+    site_util_[s].add(run.site_utilization[s]);
+  }
+}
+
+}  // namespace gridsched::metrics

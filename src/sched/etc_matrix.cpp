@@ -1,0 +1,18 @@
+#include "sched/etc_matrix.hpp"
+
+namespace gridsched::sched {
+
+EtcMatrix::EtcMatrix(const std::vector<sim::BatchJob>& jobs,
+                     const std::vector<sim::SiteConfig>& sites)
+    : n_jobs_(jobs.size()), n_sites_(sites.size()),
+      cells_(n_jobs_ * n_sites_, kInfeasible) {
+  for (std::size_t j = 0; j < n_jobs_; ++j) {
+    for (std::size_t s = 0; s < n_sites_; ++s) {
+      if (jobs[j].nodes <= sites[s].nodes) {
+        cells_[j * n_sites_ + s] = jobs[j].work / sites[s].speed;
+      }
+    }
+  }
+}
+
+}  // namespace gridsched::sched

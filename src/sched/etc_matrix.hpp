@@ -1,0 +1,39 @@
+// Expected-Time-to-Compute matrix (Braun et al. terminology): exec(j, s) is
+// the execution time of batch job j on site s, infinity when the job does
+// not fit. Completion times (exec + queueing) are computed against
+// NodeAvailability profiles by the individual heuristics.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "sim/scheduling.hpp"
+
+namespace gridsched::sched {
+
+class EtcMatrix {
+ public:
+  static constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+  EtcMatrix(const std::vector<sim::BatchJob>& jobs,
+            const std::vector<sim::SiteConfig>& sites);
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return n_jobs_; }
+  [[nodiscard]] std::size_t sites() const noexcept { return n_sites_; }
+
+  /// Execution time of job j on site s (kInfeasible if it does not fit).
+  [[nodiscard]] double exec(std::size_t j, std::size_t s) const {
+    return cells_.at(j * n_sites_ + s);
+  }
+
+  [[nodiscard]] const std::vector<double>& flattened() const noexcept {
+    return cells_;
+  }
+
+ private:
+  std::size_t n_jobs_;
+  std::size_t n_sites_;
+  std::vector<double> cells_;
+};
+
+}  // namespace gridsched::sched

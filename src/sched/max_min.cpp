@@ -1,0 +1,58 @@
+#include <algorithm>
+
+#include "sched/etc_matrix.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/risk_filter.hpp"
+
+namespace gridsched::sched {
+
+std::vector<sim::Assignment> MaxMinScheduler::schedule(
+    const sim::SchedulerContext& context) {
+  const EtcMatrix etc(context.jobs, context.sites);
+  std::vector<sim::NodeAvailability> avail = context.avail;
+
+  std::vector<std::size_t> unassigned(context.jobs.size());
+  for (std::size_t j = 0; j < unassigned.size(); ++j) unassigned[j] = j;
+
+  std::vector<sim::Assignment> result;
+  result.reserve(context.jobs.size());
+
+  while (!unassigned.empty()) {
+    // Each remaining job's best (minimum) completion time; commit the job
+    // whose best completion is the *largest*.
+    std::size_t pick_pos = unassigned.size();
+    sim::SiteId pick_site = sim::kInvalidSite;
+    double pick_completion = -1.0;
+    for (std::size_t pos = 0; pos < unassigned.size(); ++pos) {
+      const std::size_t j = unassigned[pos];
+      const sim::BatchJob& job = context.jobs[j];
+      sim::SiteId job_best_site = sim::kInvalidSite;
+      double job_best = EtcMatrix::kInfeasible;
+      for (std::size_t s = 0; s < context.sites.size(); ++s) {
+        if (!admissible(job, context.sites[s], policy_)) continue;
+        const double completion =
+            avail[s].preview(job.nodes, etc.exec(j, s), context.now).end;
+        if (completion < job_best) {
+          job_best = completion;
+          job_best_site = static_cast<sim::SiteId>(s);
+        }
+      }
+      if (job_best_site == sim::kInvalidSite) continue;
+      if (job_best > pick_completion) {
+        pick_completion = job_best;
+        pick_pos = pos;
+        pick_site = job_best_site;
+      }
+    }
+    if (pick_pos == unassigned.size()) break;
+
+    const std::size_t j = unassigned[pick_pos];
+    const sim::BatchJob& job = context.jobs[j];
+    avail[pick_site].reserve(job.nodes, etc.exec(j, pick_site), context.now);
+    result.push_back({j, pick_site});
+    unassigned.erase(unassigned.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+  }
+  return result;
+}
+
+}  // namespace gridsched::sched

@@ -1,0 +1,51 @@
+#include <algorithm>
+
+#include "sched/etc_matrix.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/risk_filter.hpp"
+
+namespace gridsched::sched {
+
+std::vector<sim::Assignment> MinMinScheduler::schedule(
+    const sim::SchedulerContext& context) {
+  const EtcMatrix etc(context.jobs, context.sites);
+  std::vector<sim::NodeAvailability> avail = context.avail;
+
+  std::vector<std::size_t> unassigned(context.jobs.size());
+  for (std::size_t j = 0; j < unassigned.size(); ++j) unassigned[j] = j;
+
+  std::vector<sim::Assignment> result;
+  result.reserve(context.jobs.size());
+
+  while (!unassigned.empty()) {
+    // For every remaining job find its minimum-completion-time site, then
+    // commit the job whose minimum is globally smallest.
+    std::size_t best_pos = unassigned.size();
+    sim::SiteId best_site = sim::kInvalidSite;
+    double best_completion = EtcMatrix::kInfeasible;
+    for (std::size_t pos = 0; pos < unassigned.size(); ++pos) {
+      const std::size_t j = unassigned[pos];
+      const sim::BatchJob& job = context.jobs[j];
+      for (std::size_t s = 0; s < context.sites.size(); ++s) {
+        if (!admissible(job, context.sites[s], policy_)) continue;
+        const double completion =
+            avail[s].preview(job.nodes, etc.exec(j, s), context.now).end;
+        if (completion < best_completion) {
+          best_completion = completion;
+          best_pos = pos;
+          best_site = static_cast<sim::SiteId>(s);
+        }
+      }
+    }
+    if (best_pos == unassigned.size()) break;  // nothing admissible remains
+
+    const std::size_t j = unassigned[best_pos];
+    const sim::BatchJob& job = context.jobs[j];
+    avail[best_site].reserve(job.nodes, etc.exec(j, best_site), context.now);
+    result.push_back({j, best_site});
+    unassigned.erase(unassigned.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  }
+  return result;
+}
+
+}  // namespace gridsched::sched

@@ -1,0 +1,60 @@
+#include "sched/registry.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "sched/heuristics.hpp"
+
+namespace gridsched::sched {
+
+namespace {
+
+const std::map<std::string, SchedulerFactory>& registry() {
+  static const std::map<std::string, SchedulerFactory> table = {
+      {"min-min",
+       [](security::RiskPolicy p) -> std::unique_ptr<sim::BatchScheduler> {
+         return std::make_unique<MinMinScheduler>(p);
+       }},
+      {"max-min",
+       [](security::RiskPolicy p) -> std::unique_ptr<sim::BatchScheduler> {
+         return std::make_unique<MaxMinScheduler>(p);
+       }},
+      {"sufferage",
+       [](security::RiskPolicy p) -> std::unique_ptr<sim::BatchScheduler> {
+         return std::make_unique<SufferageScheduler>(p);
+       }},
+      {"mct",
+       [](security::RiskPolicy p) -> std::unique_ptr<sim::BatchScheduler> {
+         return std::make_unique<MctScheduler>(p);
+       }},
+      {"met",
+       [](security::RiskPolicy p) -> std::unique_ptr<sim::BatchScheduler> {
+         return std::make_unique<MetScheduler>(p);
+       }},
+      {"olb",
+       [](security::RiskPolicy p) -> std::unique_ptr<sim::BatchScheduler> {
+         return std::make_unique<OlbScheduler>(p);
+       }},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::vector<std::string> heuristic_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<sim::BatchScheduler> make_heuristic(const std::string& name,
+                                                    security::RiskPolicy policy) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    throw std::invalid_argument("unknown heuristic: " + name);
+  }
+  return it->second(policy);
+}
+
+}  // namespace gridsched::sched

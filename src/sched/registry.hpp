@@ -1,0 +1,25 @@
+// Name -> scheduler factory, so examples and benches can select heuristics
+// from the command line ("min-min", "sufferage", "mct", ...).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "security/security.hpp"
+#include "sim/scheduling.hpp"
+
+namespace gridsched::sched {
+
+using SchedulerFactory =
+    std::function<std::unique_ptr<sim::BatchScheduler>(security::RiskPolicy)>;
+
+/// Registered heuristic names (sorted).
+std::vector<std::string> heuristic_names();
+
+/// Instantiate by name; throws std::invalid_argument for unknown names.
+std::unique_ptr<sim::BatchScheduler> make_heuristic(const std::string& name,
+                                                    security::RiskPolicy policy);
+
+}  // namespace gridsched::sched

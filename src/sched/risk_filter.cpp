@@ -1,0 +1,29 @@
+#include "sched/risk_filter.hpp"
+
+namespace gridsched::sched {
+
+bool admissible(const sim::BatchJob& job, const sim::SiteConfig& site,
+                const security::RiskPolicy& policy) noexcept {
+  if (job.nodes > site.nodes) return false;
+  if (job.secure_only) {
+    // Fail-stop rule: a previously failed job may only run where it is
+    // absolutely safe, regardless of the scheduler's mode.
+    return security::is_safe(job.demand, site.security);
+  }
+  return policy.admissible(job.demand, site.security);
+}
+
+std::vector<sim::SiteId> admissible_sites(
+    const sim::BatchJob& job, const std::vector<sim::SiteConfig>& sites,
+    const security::RiskPolicy& policy) {
+  std::vector<sim::SiteId> result;
+  result.reserve(sites.size());
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    if (admissible(job, sites[s], policy)) {
+      result.push_back(static_cast<sim::SiteId>(s));
+    }
+  }
+  return result;
+}
+
+}  // namespace gridsched::sched

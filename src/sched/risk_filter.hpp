@@ -1,0 +1,22 @@
+// Candidate-site filtering shared by every scheduling algorithm: combines
+// the configured risk mode with structural feasibility (node count) and the
+// fail-stop rule (secure_only retries go to safe sites in every mode).
+#pragma once
+
+#include <vector>
+
+#include "security/security.hpp"
+#include "sim/scheduling.hpp"
+
+namespace gridsched::sched {
+
+/// True iff `job` may be placed on `site` under `policy`.
+bool admissible(const sim::BatchJob& job, const sim::SiteConfig& site,
+                const security::RiskPolicy& policy) noexcept;
+
+/// Indices (into `sites`) of every admissible site, in site order.
+std::vector<sim::SiteId> admissible_sites(const sim::BatchJob& job,
+                                          const std::vector<sim::SiteConfig>& sites,
+                                          const security::RiskPolicy& policy);
+
+}  // namespace gridsched::sched

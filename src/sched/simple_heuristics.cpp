@@ -1,0 +1,69 @@
+// MCT, MET and OLB: single-pass heuristics that place jobs in batch order.
+#include "sched/etc_matrix.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/risk_filter.hpp"
+
+namespace gridsched::sched {
+
+namespace {
+
+/// Shared single-pass skeleton: `score` returns the value to minimise for
+/// an admissible (job, site) pair given the current availability.
+template <typename ScoreFn>
+std::vector<sim::Assignment> single_pass(const sim::SchedulerContext& context,
+                                         const security::RiskPolicy& policy,
+                                         ScoreFn&& score) {
+  const EtcMatrix etc(context.jobs, context.sites);
+  std::vector<sim::NodeAvailability> avail = context.avail;
+  std::vector<sim::Assignment> result;
+  result.reserve(context.jobs.size());
+
+  for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    const sim::BatchJob& job = context.jobs[j];
+    sim::SiteId best_site = sim::kInvalidSite;
+    double best_score = EtcMatrix::kInfeasible;
+    for (std::size_t s = 0; s < context.sites.size(); ++s) {
+      if (!admissible(job, context.sites[s], policy)) continue;
+      const double value = score(j, s, job, avail[s], etc);
+      if (value < best_score) {
+        best_score = value;
+        best_site = static_cast<sim::SiteId>(s);
+      }
+    }
+    if (best_site == sim::kInvalidSite) continue;  // stays pending
+    avail[best_site].reserve(job.nodes, etc.exec(j, best_site), context.now);
+    result.push_back({j, best_site});
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<sim::Assignment> MctScheduler::schedule(
+    const sim::SchedulerContext& context) {
+  return single_pass(context, policy_,
+                     [&](std::size_t j, std::size_t s, const sim::BatchJob& job,
+                         const sim::NodeAvailability& avail, const EtcMatrix& etc) {
+                       return avail.preview(job.nodes, etc.exec(j, s), context.now).end;
+                     });
+}
+
+std::vector<sim::Assignment> MetScheduler::schedule(
+    const sim::SchedulerContext& context) {
+  return single_pass(context, policy_,
+                     [&](std::size_t j, std::size_t s, const sim::BatchJob&,
+                         const sim::NodeAvailability&, const EtcMatrix& etc) {
+                       return etc.exec(j, s);
+                     });
+}
+
+std::vector<sim::Assignment> OlbScheduler::schedule(
+    const sim::SchedulerContext& context) {
+  return single_pass(context, policy_,
+                     [&](std::size_t, std::size_t, const sim::BatchJob& job,
+                         const sim::NodeAvailability& avail, const EtcMatrix&) {
+                       return avail.earliest_start(job.nodes, context.now);
+                     });
+}
+
+}  // namespace gridsched::sched

@@ -1,0 +1,71 @@
+#include <algorithm>
+#include <limits>
+
+#include "sched/etc_matrix.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/risk_filter.hpp"
+
+namespace gridsched::sched {
+
+std::vector<sim::Assignment> SufferageScheduler::schedule(
+    const sim::SchedulerContext& context) {
+  const EtcMatrix etc(context.jobs, context.sites);
+  std::vector<sim::NodeAvailability> avail = context.avail;
+
+  std::vector<std::size_t> unassigned(context.jobs.size());
+  for (std::size_t j = 0; j < unassigned.size(); ++j) unassigned[j] = j;
+
+  std::vector<sim::Assignment> result;
+  result.reserve(context.jobs.size());
+
+  while (!unassigned.empty()) {
+    // Sufferage = second-best completion - best completion. A job with a
+    // single admissible site suffers infinitely if it is not served.
+    std::size_t pick_pos = unassigned.size();
+    sim::SiteId pick_site = sim::kInvalidSite;
+    double pick_sufferage = -1.0;
+    double pick_best_completion = EtcMatrix::kInfeasible;
+    for (std::size_t pos = 0; pos < unassigned.size(); ++pos) {
+      const std::size_t j = unassigned[pos];
+      const sim::BatchJob& job = context.jobs[j];
+      sim::SiteId best_site = sim::kInvalidSite;
+      double best = EtcMatrix::kInfeasible;
+      double second = EtcMatrix::kInfeasible;
+      for (std::size_t s = 0; s < context.sites.size(); ++s) {
+        if (!admissible(job, context.sites[s], policy_)) continue;
+        const double completion =
+            avail[s].preview(job.nodes, etc.exec(j, s), context.now).end;
+        if (completion < best) {
+          second = best;
+          best = completion;
+          best_site = static_cast<sim::SiteId>(s);
+        } else if (completion < second) {
+          second = completion;
+        }
+      }
+      if (best_site == sim::kInvalidSite) continue;
+      const double sufferage =
+          second == EtcMatrix::kInfeasible
+              ? std::numeric_limits<double>::infinity()
+              : second - best;
+      // Ties broken toward the earlier-completing job for determinism.
+      if (sufferage > pick_sufferage ||
+          (sufferage == pick_sufferage && best < pick_best_completion)) {
+        pick_sufferage = sufferage;
+        pick_pos = pos;
+        pick_site = best_site;
+        pick_best_completion = best;
+      }
+    }
+    if (pick_pos == unassigned.size()) break;
+
+    const std::size_t j = unassigned[pick_pos];
+    const sim::BatchJob& job = context.jobs[j];
+    avail[pick_site].reserve(job.nodes, etc.exec(j, pick_site), context.now);
+    result.push_back({j, pick_site});
+    unassigned.erase(unassigned.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+  }
+  return result;
+}
+
+}  // namespace gridsched::sched

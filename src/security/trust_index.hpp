@@ -1,0 +1,54 @@
+// Composite trust index (extension).
+//
+// The paper notes (Section 1) that SL and SD "could also be a weighted sum
+// of several system security parameters (e.g., job execution history,
+// security levels of defense tools employed, etc.)" and cites the authors'
+// fuzzy-trust work. This module provides that composite form so users can
+// derive the scalar SL consumed by the scheduler from observable site
+// attributes, including an execution-history feedback loop (a lightweight
+// IDS stand-in).
+#pragma once
+
+#include <cstddef>
+
+namespace gridsched::security {
+
+/// Observable security attributes of a site, each normalised to [0, 1].
+struct SiteSecurityAttributes {
+  double defense_capability = 0.5;   ///< firewalls / IDS strength
+  double prior_success_rate = 0.5;   ///< fraction of jobs finished unharmed
+  double authentication_strength = 0.5;
+  double isolation_quality = 0.5;    ///< sandboxing / VM isolation
+};
+
+/// Weights for combining the attributes; need not be normalised.
+struct TrustWeights {
+  double defense = 0.35;
+  double history = 0.35;
+  double authentication = 0.15;
+  double isolation = 0.15;
+};
+
+/// Weighted-sum trust index in [0, 1], usable directly as SL.
+double trust_index(const SiteSecurityAttributes& attrs,
+                   const TrustWeights& weights = {}) noexcept;
+
+/// Exponentially-weighted success-history tracker: feeds
+/// SiteSecurityAttributes::prior_success_rate. alpha in (0, 1] is the weight
+/// of the newest observation.
+class SuccessHistory {
+ public:
+  explicit SuccessHistory(double alpha = 0.1, double initial = 0.5) noexcept;
+
+  void record(bool success) noexcept;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] std::size_t observations() const noexcept { return count_; }
+
+ private:
+  double alpha_;
+  double rate_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gridsched::security

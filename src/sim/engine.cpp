@@ -1,0 +1,251 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace gridsched::sim {
+
+Engine::Engine(std::vector<SiteConfig> sites, std::vector<Job> jobs,
+               EngineConfig config)
+    : config_(config) {
+  if (sites.empty()) throw std::invalid_argument("Engine: no sites");
+  if (config_.batch_interval <= 0.0) {
+    throw std::invalid_argument("Engine: batch_interval must be > 0");
+  }
+  sites_.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    SiteConfig sc = sites[i];
+    sc.id = static_cast<SiteId>(i);  // ids are dense indices by construction
+    sites_.emplace_back(sc);
+  }
+  jobs_ = std::move(jobs);
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<JobId>(i);
+  }
+  attempts_.resize(jobs_.size());
+  if (config_.validate_feasibility) validate_workload();
+}
+
+void Engine::validate_workload() const {
+  for (const Job& job : jobs_) {
+    if (job.work <= 0.0) throw std::invalid_argument("Engine: job work must be > 0");
+    if (job.nodes == 0) throw std::invalid_argument("Engine: job nodes must be > 0");
+    if (job.arrival < 0.0) throw std::invalid_argument("Engine: negative arrival");
+    const bool safe_home = std::any_of(
+        sites_.begin(), sites_.end(), [&](const GridSite& site) {
+          return site.fits(job.nodes) &&
+                 security::is_safe(job.demand, site.security());
+        });
+    if (!safe_home) {
+      throw std::invalid_argument(
+          "Engine: job " + std::to_string(job.id) +
+          " has no absolutely-safe site; it could starve after a failure");
+    }
+  }
+}
+
+bool Engine::work_remains() const noexcept {
+  return !pending_.empty() || arrivals_remaining_ > 0 || running_ > 0;
+}
+
+void Engine::ensure_cycle_scheduled(Time now) {
+  if (cycle_scheduled_) return;
+  // Next multiple of the batch interval strictly after `now`.
+  const double intervals = std::floor(now / config_.batch_interval) + 1.0;
+  Event cycle;
+  cycle.time = intervals * config_.batch_interval;
+  cycle.kind = EventKind::kBatchCycle;
+  events_.push(cycle);
+  cycle_scheduled_ = true;
+}
+
+void Engine::run(BatchScheduler& scheduler) {
+  if (ran_) throw std::logic_error("Engine::run called twice");
+  ran_ = true;
+
+  arrivals_remaining_ = jobs_.size();
+  for (const Job& job : jobs_) {
+    Event arrival;
+    arrival.time = job.arrival;
+    arrival.kind = EventKind::kJobArrival;
+    arrival.job = job.id;
+    events_.push(arrival);
+  }
+
+  while (!events_.empty()) {
+    const Event event = events_.pop();
+    switch (event.kind) {
+      case EventKind::kJobArrival: {
+        --arrivals_remaining_;
+        pending_.push_back(event.job);
+        ensure_cycle_scheduled(event.time);
+        break;
+      }
+      case EventKind::kBatchCycle: {
+        cycle_scheduled_ = false;
+        handle_batch_cycle(event.time, scheduler);
+        if (work_remains()) ensure_cycle_scheduled(event.time);
+        break;
+      }
+      case EventKind::kJobEnd: {
+        Job& job = jobs_[event.job];
+        Attempt& attempt = attempts_[event.job];
+        GridSite& site = sites_[attempt.site];
+        --running_;
+        attempt.active = false;
+        if (event.is_failure) {
+          ++counters_.failure_events;
+          ++job.failures;
+          job.secure_only = true;  // fail-stop: never risk again
+          job.state = JobState::kPending;
+          site.account_busy(job.nodes, event.time - attempt.start);
+          // Give the unused tail of the reservation back to the site.
+          site.release_after_failure(job.nodes, attempt.start + attempt.exec,
+                                     event.time);
+          pending_.push_back(event.job);
+          ensure_cycle_scheduled(event.time);
+        } else {
+          job.state = JobState::kCompleted;
+          job.finish = event.time;
+          job.final_site = attempt.site;
+          site.account_busy(job.nodes, attempt.exec);
+          makespan_ = std::max(makespan_, event.time);
+          ++counters_.completed_jobs;
+        }
+        break;
+      }
+    }
+  }
+
+  if (counters_.completed_jobs != jobs_.size()) {
+    throw std::runtime_error("Engine: simulation ended with unfinished jobs");
+  }
+}
+
+void Engine::handle_batch_cycle(Time now, BatchScheduler& scheduler) {
+  if (pending_.empty()) return;
+
+  SchedulerContext context;
+  context.now = now;
+  context.sites.reserve(sites_.size());
+  context.avail.reserve(sites_.size());
+  for (const GridSite& site : sites_) {
+    context.sites.push_back(site.config());
+    context.avail.push_back(site.availability());
+  }
+  context.jobs.reserve(pending_.size());
+  for (const JobId id : pending_) {
+    const Job& job = jobs_[id];
+    context.jobs.push_back(
+        {job.id, job.work, job.nodes, job.demand, job.arrival, job.secure_only});
+  }
+
+  ++counters_.batch_invocations;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<Assignment> assignments = scheduler.schedule(context);
+  counters_.scheduler_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  // Validate and apply in the order the scheduler chose.
+  std::unordered_set<std::size_t> assigned;
+  assigned.reserve(assignments.size());
+  for (const Assignment& assignment : assignments) {
+    if (assignment.job_index >= context.jobs.size()) {
+      throw std::logic_error("scheduler returned an out-of-range job index");
+    }
+    if (assignment.site >= sites_.size()) {
+      throw std::logic_error("scheduler returned an invalid site id");
+    }
+    if (!assigned.insert(assignment.job_index).second) {
+      throw std::logic_error("scheduler assigned the same job twice");
+    }
+    const JobId job_id = context.jobs[assignment.job_index].id;
+    const Job& job = jobs_[job_id];
+    const GridSite& site = sites_[assignment.site];
+    if (!site.fits(job.nodes)) {
+      throw std::logic_error("scheduler placed a job on a site it does not fit");
+    }
+    if (job.secure_only && !security::is_safe(job.demand, site.security())) {
+      throw std::logic_error(
+          "scheduler violated the fail-stop rule (secure_only job on risky site)");
+    }
+    dispatch(job_id, assignment.site, now);
+  }
+
+  // Remove dispatched jobs from the pending queue, preserving order.
+  if (!assignments.empty()) {
+    std::deque<JobId> still_pending;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (!assigned.count(i)) still_pending.push_back(pending_[i]);
+    }
+    pending_.swap(still_pending);
+    idle_cycles_ = 0;
+  } else {
+    if (++idle_cycles_ > config_.max_idle_cycles) {
+      throw std::runtime_error(
+          "Engine: scheduler starved " + std::to_string(pending_.size()) +
+          " pending job(s) for too many cycles");
+    }
+  }
+}
+
+void Engine::dispatch(JobId job_id, SiteId site_id, Time now) {
+  Job& job = jobs_[job_id];
+  GridSite& site = sites_[site_id];
+
+  const double exec = site.exec_time(job.work);
+  const NodeAvailability::Window window = site.dispatch(job.nodes, exec, now);
+
+  Attempt& attempt = attempts_[job_id];
+  attempt = {window.start, exec, site_id, true};
+  ++job.attempts;
+  ++running_;
+  job.state = JobState::kDispatched;
+  if (job.first_start < 0.0) job.first_start = window.start;
+  job.last_start = window.start;
+
+  const double p_fail =
+      security::failure_probability(job.demand, site.security(), config_.lambda);
+  // Common random numbers: the failure draw for (job, attempt) is a pure
+  // hash of (seed, job, attempt), independent of everything the scheduler
+  // did before. Identical placements therefore fail identically under every
+  // algorithm, which removes a large cross-algorithm noise term from the
+  // paired comparisons the paper makes (DESIGN.md §5.5).
+  util::SplitMix64 draw(config_.seed ^
+                        0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(job_id) + 1) ^
+                        0xc2b2ae3d27d4eb4fULL * (job.attempts + 1ULL));
+  const double failure_ticket = static_cast<double>(draw.next() >> 11) * 0x1.0p-53;
+  bool will_fail = false;
+  if (p_fail > 0.0) {
+    ++counters_.risky_attempts;
+    job.took_risk = true;
+    will_fail = failure_ticket < p_fail;
+  }
+
+  Event end;
+  end.kind = EventKind::kJobEnd;
+  end.job = job_id;
+  end.site = site_id;
+  if (will_fail) {
+    double fraction = 1.0;
+    if (config_.detection == FailureDetection::kUniformFraction) {
+      fraction = static_cast<double>(draw.next() >> 11) * 0x1.0p-53;
+    } else if (config_.detection == FailureDetection::kImmediate) {
+      fraction = 0.0;
+    }
+    // Avoid a zero-length attempt so failure times are strictly after start.
+    fraction = std::max(fraction, 1e-6);
+    end.time = window.start + exec * fraction;
+    end.is_failure = true;
+  } else {
+    end.time = window.end;
+    end.is_failure = false;
+  }
+  events_.push(end);
+}
+
+}  // namespace gridsched::sim

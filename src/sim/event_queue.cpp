@@ -1,0 +1,16 @@
+#include "sim/event_queue.hpp"
+
+namespace gridsched::sim {
+
+void EventQueue::push(Event event) {
+  event.seq = next_seq_++;
+  heap_.push(event);
+}
+
+Event EventQueue::pop() {
+  Event event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+}  // namespace gridsched::sim

@@ -1,0 +1,48 @@
+// Stable discrete-event queue: events pop in time order; ties break by
+// insertion sequence so simulations are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace gridsched::sim {
+
+enum class EventKind : std::uint8_t {
+  kJobArrival,   ///< payload = job id
+  kBatchCycle,   ///< periodic scheduler invocation
+  kJobEnd,       ///< payload = job id; success or failure detection
+};
+
+struct Event {
+  Time time = 0.0;
+  EventKind kind = EventKind::kBatchCycle;
+  JobId job = kInvalidJob;
+  SiteId site = kInvalidSite;
+  /// True when this JobEnd is a security failure detection.
+  bool is_failure = false;
+  std::uint64_t seq = 0;  ///< assigned by the queue; breaks time ties FIFO
+};
+
+class EventQueue {
+ public:
+  void push(Event event);
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gridsched::sim

@@ -1,0 +1,39 @@
+// Job model. Jobs are atomic (neither malleable nor moldable, per the
+// paper): a job needs `nodes` nodes for `work / site_speed` seconds.
+#pragma once
+
+#include "sim/types.hpp"
+
+namespace gridsched::sim {
+
+enum class JobState {
+  kPending,    ///< waiting in the scheduler's batch queue
+  kDispatched, ///< has a reservation on a site
+  kCompleted,  ///< finished successfully
+};
+
+struct Job {
+  JobId id = kInvalidJob;
+  Time arrival = 0.0;
+  /// Execution time on a unit-speed site, in seconds (runtime scales as
+  /// work / speed; the `nodes` nodes are held for the whole run).
+  double work = 0.0;
+  unsigned nodes = 1;
+  /// Security demand SD (paper: U[0.6, 0.9]).
+  double demand = 0.0;
+
+  // --- runtime bookkeeping (owned by the engine) ---
+  JobState state = JobState::kPending;
+  /// Set after a failure: the fail-stop rule forbids further risk.
+  bool secure_only = false;
+  unsigned attempts = 0;
+  unsigned failures = 0;
+  /// True if any attempt ran on a site with SL < SD.
+  bool took_risk = false;
+  Time first_start = -1.0;  ///< start of the first attempt
+  Time last_start = -1.0;   ///< start of the final (successful) attempt
+  Time finish = -1.0;       ///< successful completion time
+  SiteId final_site = kInvalidSite;
+};
+
+}  // namespace gridsched::sim

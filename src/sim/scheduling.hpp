@@ -1,0 +1,54 @@
+// The batch-scheduler interface the simulation engine invokes every
+// scheduling cycle (the "on-line job scheduling system model" of Fig. 1).
+// Heuristics (src/sched) and the GAs (src/core) implement BatchScheduler.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "sim/site.hpp"
+#include "sim/types.hpp"
+
+namespace gridsched::sim {
+
+/// One job of the current batch, as visible to a scheduler.
+struct BatchJob {
+  JobId id = kInvalidJob;
+  double work = 0.0;
+  unsigned nodes = 1;
+  double demand = 0.0;
+  Time arrival = 0.0;
+  /// Fail-stop retry: must go to a site with SL >= SD, whatever the mode.
+  bool secure_only = false;
+};
+
+/// Immutable snapshot handed to BatchScheduler::schedule. Site availability
+/// profiles reflect every reservation committed so far.
+struct SchedulerContext {
+  Time now = 0.0;
+  std::vector<SiteConfig> sites;
+  std::vector<NodeAvailability> avail;  ///< parallel to `sites`
+  std::vector<BatchJob> jobs;           ///< the pending batch
+};
+
+/// One placement decision. The engine dispatches assignments in the order
+/// returned, which fixes the reservation order (heuristics exploit this).
+struct Assignment {
+  std::size_t job_index = 0;  ///< index into SchedulerContext::jobs
+  SiteId site = kInvalidSite;
+};
+
+class BatchScheduler {
+ public:
+  virtual ~BatchScheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Map (a subset of) the batch to sites. Jobs omitted from the result
+  /// remain pending and reappear in the next cycle's batch.
+  virtual std::vector<Assignment> schedule(const SchedulerContext& context) = 0;
+};
+
+}  // namespace gridsched::sim

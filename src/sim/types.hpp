@@ -1,0 +1,18 @@
+// Fundamental identifiers and time type shared across the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gridsched::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+using JobId = std::uint32_t;
+using SiteId = std::uint32_t;
+
+inline constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+inline constexpr JobId kInvalidJob = std::numeric_limits<JobId>::max();
+
+}  // namespace gridsched::sim

@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <mutex>
+
+namespace gridsched::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+namespace detail {
+std::string format_log(const char* fmt, ...) {
+  char buffer[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return std::string(buffer);
+}
+}  // namespace detail
+
+}  // namespace gridsched::util

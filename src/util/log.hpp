@@ -1,0 +1,49 @@
+// Leveled stderr logging. Quiet by default so bench output stays clean.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace gridsched::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+std::string format_log(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+#define GS_LOG_DEBUG(...)                                               \
+  do {                                                                  \
+    if (::gridsched::util::log_level() <= ::gridsched::util::LogLevel::kDebug) \
+      ::gridsched::util::log_message(::gridsched::util::LogLevel::kDebug,     \
+                                     ::gridsched::util::detail::format_log(__VA_ARGS__)); \
+  } while (0)
+
+#define GS_LOG_INFO(...)                                                \
+  do {                                                                  \
+    if (::gridsched::util::log_level() <= ::gridsched::util::LogLevel::kInfo) \
+      ::gridsched::util::log_message(::gridsched::util::LogLevel::kInfo,      \
+                                     ::gridsched::util::detail::format_log(__VA_ARGS__)); \
+  } while (0)
+
+#define GS_LOG_WARN(...)                                                \
+  do {                                                                  \
+    if (::gridsched::util::log_level() <= ::gridsched::util::LogLevel::kWarn) \
+      ::gridsched::util::log_message(::gridsched::util::LogLevel::kWarn,      \
+                                     ::gridsched::util::detail::format_log(__VA_ARGS__)); \
+  } while (0)
+
+#define GS_LOG_ERROR(...)                                               \
+  do {                                                                  \
+    if (::gridsched::util::log_level() <= ::gridsched::util::LogLevel::kError) \
+      ::gridsched::util::log_message(::gridsched::util::LogLevel::kError,     \
+                                     ::gridsched::util::detail::format_log(__VA_ARGS__)); \
+  } while (0)
+
+}  // namespace gridsched::util

@@ -1,0 +1,45 @@
+// Streaming and batch statistics used by the metrics and experiment layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gridsched::util {
+
+/// Welford online mean/variance accumulator; numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Half-width of an approximate 95% confidence interval (normal z=1.96).
+  [[nodiscard]] double ci95_halfwidth() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation percentile of an unsorted sample (copies + sorts).
+/// q in [0, 1]; returns 0 for an empty sample.
+double percentile(std::span<const double> sample, double q);
+
+/// Mean of a sample (0 for empty).
+double mean_of(std::span<const double> sample);
+
+/// Sample standard deviation (n-1; 0 for n < 2).
+double stddev_of(std::span<const double> sample);
+
+}  // namespace gridsched::util

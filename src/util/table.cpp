@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gridsched::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: need >= 1 column");
+}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  if (cells_.empty()) row();
+  if (cells_.back().size() >= headers_.size()) {
+    throw std::out_of_range("Table: row has too many cells");
+  }
+  cells_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  char buffer[64];
+  if (std::abs(value) >= 1e6 || (value != 0.0 && std::abs(value) < 1e-3)) {
+    std::snprintf(buffer, sizeof(buffer), "%.*e", precision, value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  }
+  return cell(std::string(buffer));
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t r, std::size_t c) const {
+  return cells_.at(r).at(c);
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string{};
+      out += text;
+      out.append(widths[c] - text.size() + (c + 1 < headers_.size() ? 2 : 0), ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  std::string out;
+  emit_row(headers_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : cells_) emit_row(row, out);
+  return out;
+}
+
+std::string Table::csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += ',';
+    out += escape(headers_[c]);
+  }
+  out += '\n';
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) out += ',';
+      if (c < row.size()) out += escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_si(double value, const std::string& unit) {
+  static constexpr const char* kSuffix[] = {"", "k", "M", "G", "T"};
+  int tier = 0;
+  double scaled = value;
+  while (std::abs(scaled) >= 1000.0 && tier < 4) {
+    scaled /= 1000.0;
+    ++tier;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3g%s%s%s", scaled, kSuffix[tier],
+                unit.empty() ? "" : " ", unit.c_str());
+  return std::string(buffer);
+}
+
+}  // namespace gridsched::util

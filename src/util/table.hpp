@@ -1,0 +1,39 @@
+// ASCII table and CSV rendering for benchmark/experiment reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gridsched::util {
+
+/// Column-aligned plain-text table with a header row. Cells are strings;
+/// numeric helpers format with sensible defaults.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
+
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string str() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  [[nodiscard]] std::string csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format seconds in engineering style, e.g. "1.53e6 s" -> "1.53M s".
+std::string format_si(double value, const std::string& unit = "");
+
+}  // namespace gridsched::util

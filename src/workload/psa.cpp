@@ -1,0 +1,46 @@
+#include "workload/psa.hpp"
+
+#include <stdexcept>
+
+#include "security/security.hpp"
+#include "workload/sites.hpp"
+
+namespace gridsched::workload {
+
+std::vector<sim::Job> psa_jobs(const PsaConfig& config, std::uint64_t seed) {
+  if (config.n_jobs == 0) throw std::invalid_argument("psa_jobs: n_jobs == 0");
+  if (config.workload_levels == 0 || config.max_workload <= 0.0) {
+    throw std::invalid_argument("psa_jobs: bad workload levels");
+  }
+  if (config.arrival_rate <= 0.0) {
+    throw std::invalid_argument("psa_jobs: arrival_rate must be > 0");
+  }
+  util::Rng rng(seed);
+  const double level_size =
+      config.max_workload / static_cast<double>(config.workload_levels);
+
+  std::vector<sim::Job> jobs(config.n_jobs);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < config.n_jobs; ++i) {
+    clock += rng.exponential(config.arrival_rate);
+    sim::Job& job = jobs[i];
+    job.arrival = clock;
+    job.nodes = 1;  // PSA jobs are sequential by definition
+    const auto level = static_cast<double>(
+        rng.uniform_int(1, static_cast<std::int64_t>(config.workload_levels)));
+    job.work = level * level_size;
+    job.demand = rng.uniform(security::kJobDemandLo, security::kJobDemandHi);
+  }
+  return jobs;
+}
+
+Workload psa_workload(const PsaConfig& config, std::uint64_t seed) {
+  Workload workload;
+  workload.name = "PSA";
+  util::Rng site_rng = util::Rng::child(seed, 0x75A);
+  workload.sites = psa_sites(site_rng, config.n_sites);
+  workload.jobs = psa_jobs(config, seed);
+  return workload;
+}
+
+}  // namespace gridsched::workload

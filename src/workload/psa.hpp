@@ -1,0 +1,29 @@
+// Parameter-sweep application (PSA) workload (paper §4.2, Table 1).
+//
+// N independent sequential jobs (one node each), workloads drawn from 20
+// discrete levels spanning (0, 300000] work-units, Poisson arrivals with
+// rate 0.008 jobs/s, executed on 20 heterogeneous single-node sites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace gridsched::workload {
+
+struct PsaConfig {
+  std::size_t n_jobs = 5000;      ///< paper Table 1 default
+  double arrival_rate = 0.008;    ///< jobs per second (Poisson)
+  std::size_t workload_levels = 20;
+  double max_workload = 300000.0; ///< level k -> k * max/levels work-units
+  std::size_t n_sites = 20;
+};
+
+std::vector<sim::Job> psa_jobs(const PsaConfig& config, std::uint64_t seed);
+
+Workload psa_workload(const PsaConfig& config, std::uint64_t seed);
+
+}  // namespace gridsched::workload

@@ -1,0 +1,64 @@
+#include "workload/stats.hpp"
+
+#include <cstdio>
+
+namespace gridsched::workload {
+
+double WorkloadStats::offered_load(double node_speed_per_second) const {
+  if (span <= 0.0 || node_speed_per_second <= 0.0) return 0.0;
+  return total_node_seconds / (node_speed_per_second * span);
+}
+
+WorkloadStats characterize(const std::vector<sim::Job>& jobs) {
+  WorkloadStats stats;
+  stats.n_jobs = jobs.size();
+  if (jobs.empty()) return stats;
+  stats.span = jobs.back().arrival - jobs.front().arrival;
+  double previous_arrival = jobs.front().arrival;
+  for (const sim::Job& job : jobs) {
+    stats.work.add(job.work);
+    stats.demand.add(job.demand);
+    stats.interarrival.add(job.arrival - previous_arrival);
+    previous_arrival = job.arrival;
+    ++stats.size_histogram[job.nodes];
+    stats.total_node_seconds += job.work * static_cast<double>(job.nodes);
+  }
+  return stats;
+}
+
+std::string describe(const WorkloadStats& stats) {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line), "jobs:           %zu\n", stats.n_jobs);
+  out += line;
+  std::snprintf(line, sizeof(line), "arrival span:   %.0f s (%.2f days)\n",
+                stats.span, stats.span / 86400.0);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "work:           mean %.1f, sd %.1f, min %.1f, max %.1f\n",
+                stats.work.mean(), stats.work.stddev(), stats.work.min(),
+                stats.work.max());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "interarrival:   mean %.1f s, sd %.1f s\n",
+                stats.interarrival.mean(), stats.interarrival.stddev());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "security SD:    mean %.3f, range [%.3f, %.3f]\n",
+                stats.demand.mean(), stats.demand.min(), stats.demand.max());
+  out += line;
+  out += "node requests:\n";
+  for (const auto& [nodes, count] : stats.size_histogram) {
+    std::snprintf(line, sizeof(line), "  %3u nodes: %zu (%.1f%%)\n", nodes,
+                  count,
+                  100.0 * static_cast<double>(count) /
+                      static_cast<double>(stats.n_jobs));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "total demand:   %.3g node-seconds\n",
+                stats.total_node_seconds);
+  out += line;
+  return out;
+}
+
+}  // namespace gridsched::workload

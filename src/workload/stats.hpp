@@ -1,0 +1,35 @@
+// Workload characterisation: summary statistics and histograms for a job
+// stream, used to validate synthetic traces against published trace
+// characterisations and by the CLI's `describe` command.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "util/stats.hpp"
+
+namespace gridsched::workload {
+
+struct WorkloadStats {
+  std::size_t n_jobs = 0;
+  double span = 0.0;  ///< last arrival - first arrival
+  util::RunningStats work;
+  util::RunningStats interarrival;
+  util::RunningStats demand;
+  std::map<unsigned, std::size_t> size_histogram;  ///< nodes -> count
+  double total_node_seconds = 0.0;
+
+  /// Offered load against a capacity of `node_speed_per_second` work-units
+  /// per second over the arrival span.
+  [[nodiscard]] double offered_load(double node_speed_per_second) const;
+};
+
+/// Jobs must be sorted by arrival (generators guarantee this).
+WorkloadStats characterize(const std::vector<sim::Job>& jobs);
+
+/// Multi-line human-readable report.
+std::string describe(const WorkloadStats& stats);
+
+}  // namespace gridsched::workload

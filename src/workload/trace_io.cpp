@@ -1,0 +1,123 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsched::workload {
+
+namespace {
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return in;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create trace file: " + path);
+  return out;
+}
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& line) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line_no) + ": " + line);
+}
+
+bool is_skippable(const std::string& line) {
+  for (const char ch : line) {
+    if (ch == ';') return true;
+    if (!std::isspace(static_cast<unsigned char>(ch))) return false;
+  }
+  return true;  // all whitespace
+}
+
+}  // namespace
+
+void write_jobs(std::ostream& out, const std::vector<sim::Job>& jobs) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "; gridsched job trace v1\n";
+  out << "; id arrival work nodes demand\n";
+  for (const sim::Job& job : jobs) {
+    out << job.id << ' ' << job.arrival << ' ' << job.work << ' ' << job.nodes
+        << ' ' << job.demand << '\n';
+  }
+}
+
+void write_jobs_file(const std::string& path, const std::vector<sim::Job>& jobs) {
+  auto out = open_output(path);
+  write_jobs(out, jobs);
+}
+
+std::vector<sim::Job> read_jobs(std::istream& in) {
+  std::vector<sim::Job> jobs;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_skippable(line)) continue;
+    std::istringstream fields(line);
+    sim::Job job;
+    unsigned long id = 0;
+    if (!(fields >> id >> job.arrival >> job.work >> job.nodes >> job.demand)) {
+      parse_error(line_no, line);
+    }
+    job.id = static_cast<sim::JobId>(id);
+    if (job.work <= 0.0 || job.nodes == 0 || job.arrival < 0.0) {
+      parse_error(line_no, line);
+    }
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::vector<sim::Job> read_jobs_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_jobs(in);
+}
+
+void write_sites(std::ostream& out, const std::vector<sim::SiteConfig>& sites) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "; gridsched site list v1\n";
+  out << "; id nodes speed security\n";
+  for (const sim::SiteConfig& site : sites) {
+    out << site.id << ' ' << site.nodes << ' ' << site.speed << ' '
+        << site.security << '\n';
+  }
+}
+
+void write_sites_file(const std::string& path,
+                      const std::vector<sim::SiteConfig>& sites) {
+  auto out = open_output(path);
+  write_sites(out, sites);
+}
+
+std::vector<sim::SiteConfig> read_sites(std::istream& in) {
+  std::vector<sim::SiteConfig> sites;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_skippable(line)) continue;
+    std::istringstream fields(line);
+    sim::SiteConfig site;
+    unsigned long id = 0;
+    if (!(fields >> id >> site.nodes >> site.speed >> site.security)) {
+      parse_error(line_no, line);
+    }
+    site.id = static_cast<sim::SiteId>(id);
+    if (site.nodes == 0 || site.speed <= 0.0) parse_error(line_no, line);
+    sites.push_back(site);
+  }
+  return sites;
+}
+
+std::vector<sim::SiteConfig> read_sites_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_sites(in);
+}
+
+}  // namespace gridsched::workload

@@ -1,0 +1,34 @@
+// Plain-text trace persistence, modelled on the Standard Workload Format
+// (SWF): '; '-prefixed header comments, one whitespace-separated record per
+// line. Lets users replay real traces (e.g. the actual NAS log) instead of
+// the synthetic generator.
+//
+// Job record:  id  arrival  work  nodes  demand
+// Site record: id  nodes    speed security
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "sim/site.hpp"
+
+namespace gridsched::workload {
+
+void write_jobs(std::ostream& out, const std::vector<sim::Job>& jobs);
+void write_jobs_file(const std::string& path, const std::vector<sim::Job>& jobs);
+
+/// Parses job records; throws std::runtime_error with a line number on
+/// malformed input. Comment ("; ...") and blank lines are skipped.
+std::vector<sim::Job> read_jobs(std::istream& in);
+std::vector<sim::Job> read_jobs_file(const std::string& path);
+
+void write_sites(std::ostream& out, const std::vector<sim::SiteConfig>& sites);
+void write_sites_file(const std::string& path,
+                      const std::vector<sim::SiteConfig>& sites);
+
+std::vector<sim::SiteConfig> read_sites(std::istream& in);
+std::vector<sim::SiteConfig> read_sites_file(const std::string& path);
+
+}  // namespace gridsched::workload

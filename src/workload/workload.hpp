@@ -1,0 +1,18 @@
+// A workload bundles the jobs to simulate with the grid they run on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "sim/site.hpp"
+
+namespace gridsched::workload {
+
+struct Workload {
+  std::string name;
+  std::vector<sim::SiteConfig> sites;
+  std::vector<sim::Job> jobs;
+};
+
+}  // namespace gridsched::workload

@@ -1,0 +1,200 @@
+#include "core/ga_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/heuristics.hpp"
+
+namespace gridsched::core {
+namespace {
+
+StgaConfig tiny_config(std::uint64_t seed = 7) {
+  StgaConfig config;
+  config.ga.population = 24;
+  config.ga.generations = 12;
+  config.seed = seed;
+  return config;
+}
+
+sim::SchedulerContext grid_context(std::size_t n_jobs, sim::Time now = 0.0) {
+  sim::SchedulerContext context;
+  context.now = now;
+  context.sites = {{0, 2, 1.0, 0.95}, {1, 2, 2.0, 0.55}, {2, 1, 1.5, 0.75}};
+  for (const auto& site : context.sites) {
+    context.avail.emplace_back(site.nodes, 0.0);
+  }
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    sim::BatchJob job;
+    job.id = static_cast<sim::JobId>(j);
+    job.work = 10.0 + 3.0 * static_cast<double>(j % 5);
+    job.nodes = 1 + static_cast<unsigned>(j % 2);
+    job.demand = 0.6 + 0.05 * static_cast<double>(j % 6);
+    context.jobs.push_back(job);
+  }
+  return context;
+}
+
+TEST(GaScheduler, NamesReflectFlavour) {
+  EXPECT_EQ(make_stga(tiny_config())->name(), "STGA");
+  EXPECT_EQ(make_classic_ga(tiny_config())->name(), "GA");
+}
+
+TEST(GaScheduler, FactoriesForceFlags) {
+  StgaConfig config = tiny_config();
+  config.use_history = false;
+  config.heuristic_seeds = false;
+  EXPECT_TRUE(make_stga(config)->config().use_history);
+  config.use_history = true;
+  config.heuristic_seeds = true;
+  const auto classic = make_classic_ga(config);
+  EXPECT_FALSE(classic->config().use_history);
+  EXPECT_FALSE(classic->config().heuristic_seeds);
+}
+
+TEST(GaScheduler, AssignsEveryBatchJobExactlyOnce) {
+  auto scheduler = make_stga(tiny_config());
+  auto context = grid_context(9);
+  const auto assignments = scheduler->schedule(context);
+  ASSERT_EQ(assignments.size(), 9u);
+  std::set<std::size_t> jobs;
+  for (const auto& assignment : assignments) {
+    EXPECT_TRUE(jobs.insert(assignment.job_index).second);
+    ASSERT_LT(assignment.site, context.sites.size());
+    EXPECT_LE(context.jobs[assignment.job_index].nodes,
+              context.sites[assignment.site].nodes);
+  }
+}
+
+TEST(GaScheduler, EmptyBatchYieldsNothing) {
+  auto scheduler = make_stga(tiny_config());
+  auto context = grid_context(0);
+  EXPECT_TRUE(scheduler->schedule(context).empty());
+}
+
+TEST(GaScheduler, SecureOnlyJobsGoToSafeSites) {
+  auto scheduler = make_stga(tiny_config());
+  auto context = grid_context(6);
+  for (auto& job : context.jobs) job.secure_only = true;
+  const auto assignments = scheduler->schedule(context);
+  ASSERT_EQ(assignments.size(), 6u);
+  for (const auto& assignment : assignments) {
+    const auto& job = context.jobs[assignment.job_index];
+    const auto& site = context.sites[assignment.site];
+    EXPECT_TRUE(security::is_safe(job.demand, site.security))
+        << "secure_only job on SL " << site.security;
+  }
+}
+
+TEST(GaScheduler, InfeasibleJobsStayPending) {
+  auto scheduler = make_stga(tiny_config());
+  auto context = grid_context(4);
+  context.jobs[2].nodes = 16;  // fits no site
+  const auto assignments = scheduler->schedule(context);
+  EXPECT_EQ(assignments.size(), 3u);
+  for (const auto& assignment : assignments) {
+    EXPECT_NE(assignment.job_index, 2u);
+  }
+}
+
+TEST(GaScheduler, ScheduleInsertsIntoHistory) {
+  auto scheduler = make_stga(tiny_config());
+  auto context = grid_context(5);
+  EXPECT_EQ(scheduler->history().size(), 0u);
+  scheduler->schedule(context);
+  EXPECT_EQ(scheduler->history().size(), 1u);
+}
+
+TEST(GaScheduler, ClassicGaDoesNotTouchHistory) {
+  auto scheduler = make_classic_ga(tiny_config());
+  auto context = grid_context(5);
+  scheduler->schedule(context);
+  EXPECT_EQ(scheduler->history().size(), 0u);
+}
+
+TEST(GaScheduler, RepeatedSimilarBatchesHitTheTable) {
+  auto scheduler = make_stga(tiny_config());
+  auto context = grid_context(6);
+  scheduler->schedule(context);
+  auto context_again = grid_context(6);
+  scheduler->schedule(context_again);
+  EXPECT_GE(scheduler->history().hits(), 1u);
+}
+
+TEST(GaScheduler, RecordExternalStoresHeuristicSolution) {
+  auto scheduler = make_stga(tiny_config());
+  auto context = grid_context(5);
+  sched::MinMinScheduler heuristic(security::RiskPolicy::risky());
+  const auto assignments = heuristic.schedule(context);
+  scheduler->record_external(context, assignments);
+  EXPECT_EQ(scheduler->history().size(), 1u);
+}
+
+TEST(GaScheduler, RecordExternalIgnoresEmptyInput) {
+  auto scheduler = make_stga(tiny_config());
+  auto context = grid_context(3);
+  scheduler->record_external(context, {});
+  EXPECT_EQ(scheduler->history().size(), 0u);
+}
+
+TEST(RecordingScheduler, ForwardsAndRecords) {
+  auto stga = make_stga(tiny_config());
+  sched::SufferageScheduler inner(security::RiskPolicy::risky());
+  RecordingScheduler recorder(inner, *stga);
+  EXPECT_EQ(recorder.name(), "Sufferage risky (recording)");
+  auto context = grid_context(4);
+  const auto assignments = recorder.schedule(context);
+  EXPECT_EQ(assignments.size(), 4u);
+  EXPECT_EQ(stga->history().size(), 1u);
+}
+
+TEST(GaScheduler, DeterministicForIdenticalConfig) {
+  auto run = [] {
+    auto scheduler = make_stga(tiny_config(77));
+    auto context = grid_context(8);
+    return scheduler->schedule(context);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].job_index, b[i].job_index);
+    EXPECT_EQ(a[i].site, b[i].site);
+  }
+}
+
+TEST(GaScheduler, WarmStartAtLeastMatchesColdOnRepeatedBatch) {
+  // Schedule the same batch shape many times; by the later rounds the STGA
+  // population starts from previous solutions and must not be worse than a
+  // cold GA given the same tiny generation budget.
+  StgaConfig warm_config = tiny_config(5);
+  warm_config.ga.generations = 4;  // tight budget: warm start matters
+  warm_config.heuristic_seeds = false;
+  StgaConfig cold_config = warm_config;
+
+  auto warm = make_stga(warm_config);
+  auto cold = make_classic_ga(cold_config);
+
+  double warm_cost = 0.0;
+  double cold_cost = 0.0;
+  for (int round = 0; round < 6; ++round) {
+    auto context = grid_context(10, 0.0);
+    const GaProblem problem =
+        build_problem(context, security::RiskPolicy::risky());
+    auto score = [&](const std::vector<sim::Assignment>& assignments) {
+      Chromosome chromosome(problem.n_jobs());
+      for (const auto& assignment : assignments) {
+        chromosome[assignment.job_index] = assignment.site;
+      }
+      return batch_makespan(problem, chromosome);
+    };
+    auto warm_context = grid_context(10, 0.0);
+    auto cold_context = grid_context(10, 0.0);
+    warm_cost += score(warm->schedule(warm_context));
+    cold_cost += score(cold->schedule(cold_context));
+  }
+  EXPECT_LE(warm_cost, cold_cost * 1.02);  // warm never meaningfully worse
+}
+
+}  // namespace
+}  // namespace gridsched::core

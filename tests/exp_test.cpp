@@ -1,0 +1,151 @@
+#include "exp/roster.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/stats.hpp"
+
+namespace gridsched::exp {
+namespace {
+
+TEST(Scenario, NasDefaultsMatchPaperTableOne) {
+  const Scenario scenario = nas_scenario();
+  EXPECT_EQ(scenario.kind, ScenarioKind::kNas);
+  EXPECT_EQ(scenario.nas.n_jobs, 16000u);
+  EXPECT_NEAR(scenario.nas.horizon, 46.0 * 86400.0, 1.0);
+  EXPECT_DOUBLE_EQ(scenario.engine.batch_interval, 4000.0);
+  EXPECT_EQ(scenario.training_jobs, 500u);
+}
+
+TEST(Scenario, NasScalesHorizonWithJobCount) {
+  const Scenario half = nas_scenario(8000);
+  EXPECT_NEAR(half.nas.horizon, 23.0 * 86400.0, 1.0);
+}
+
+TEST(Scenario, PsaDefaults) {
+  const Scenario scenario = psa_scenario(1234);
+  EXPECT_EQ(scenario.kind, ScenarioKind::kPsa);
+  EXPECT_EQ(scenario.psa.n_jobs, 1234u);
+  EXPECT_DOUBLE_EQ(scenario.engine.batch_interval, 2000.0);
+}
+
+TEST(Scenario, MakeWorkloadDispatchesOnKind) {
+  const workload::Workload nas = make_workload(nas_scenario(100), 1);
+  EXPECT_EQ(nas.name, "NAS");
+  EXPECT_EQ(nas.sites.size(), 12u);
+  const workload::Workload psa = make_workload(psa_scenario(100), 1);
+  EXPECT_EQ(psa.name, "PSA");
+  EXPECT_EQ(psa.sites.size(), 20u);
+}
+
+TEST(Scenario, TrainingWorkloadReusesMainSites) {
+  const Scenario scenario = psa_scenario(100);
+  const workload::Workload main = make_workload(scenario, 7);
+  const workload::Workload training =
+      make_training_workload(scenario, main, 40, 8);
+  ASSERT_EQ(training.sites.size(), main.sites.size());
+  for (std::size_t s = 0; s < main.sites.size(); ++s) {
+    EXPECT_DOUBLE_EQ(training.sites[s].security, main.sites[s].security);
+    EXPECT_DOUBLE_EQ(training.sites[s].speed, main.sites[s].speed);
+  }
+  EXPECT_EQ(training.jobs.size(), 40u);
+  EXPECT_NE(training.name.find("training"), std::string::npos);
+}
+
+TEST(Scenario, TrainingWorkloadShrinksNasHorizon) {
+  const Scenario scenario = nas_scenario(1000);
+  const workload::Workload main = make_workload(scenario, 9);
+  const workload::Workload training =
+      make_training_workload(scenario, main, 100, 10);
+  const auto stats = workload::characterize(training.jobs);
+  EXPECT_LT(stats.span, scenario.nas.horizon);
+}
+
+TEST(Roster, HeuristicSpecValidatesName) {
+  EXPECT_THROW(heuristic_spec("no-such", security::RiskPolicy::secure()),
+               std::invalid_argument);
+}
+
+TEST(Roster, SpecsProduceFreshSchedulers) {
+  const AlgorithmSpec spec =
+      heuristic_spec("min-min", security::RiskPolicy::risky());
+  const auto a = spec.make(nullptr, 1);
+  const auto b = spec.make(nullptr, 2);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(a->name(), "Min-Min risky");
+}
+
+TEST(Roster, StgaSpecThreadsSeedIntoConfig) {
+  const AlgorithmSpec spec = stga_spec();
+  const auto scheduler = spec.make(nullptr, 12345);
+  const auto* stga = dynamic_cast<core::GaScheduler*>(scheduler.get());
+  ASSERT_NE(stga, nullptr);
+  EXPECT_EQ(stga->config().seed, 12345u);
+  EXPECT_TRUE(stga->config().use_history);
+}
+
+TEST(Roster, ClassicGaSpecDisablesHistory) {
+  const AlgorithmSpec spec = classic_ga_spec();
+  const auto scheduler = spec.make(nullptr, 1);
+  const auto* ga = dynamic_cast<core::GaScheduler*>(scheduler.get());
+  ASSERT_NE(ga, nullptr);
+  EXPECT_FALSE(ga->config().use_history);
+  EXPECT_FALSE(spec.wants_training);
+}
+
+TEST(Runner, TrainingJobsZeroSkipsTraining) {
+  Scenario scenario = psa_scenario(40);
+  scenario.training_jobs = 0;
+  core::StgaConfig config;
+  config.ga.population = 16;
+  config.ga.generations = 4;
+  const auto run = run_once(scenario, stga_spec(config), 77);
+  EXPECT_EQ(run.n_jobs, 40u);
+}
+
+TEST(Runner, ReplicationSeedsAreDistinct) {
+  const Scenario scenario = psa_scenario(40);
+  const auto spec =
+      heuristic_spec("mct", security::RiskPolicy::f_risky(0.5));
+  const auto result = run_replicated(scenario, spec, 3, 500);
+  ASSERT_EQ(result.runs.size(), 3u);
+  EXPECT_FALSE(result.runs[0].makespan == result.runs[1].makespan &&
+               result.runs[1].makespan == result.runs[2].makespan);
+}
+
+TEST(WorkloadStats, CharacterizesGeneratedTrace) {
+  const workload::Workload psa = make_workload(psa_scenario(400), 11);
+  const auto stats = workload::characterize(psa.jobs);
+  EXPECT_EQ(stats.n_jobs, 400u);
+  EXPECT_GT(stats.span, 0.0);
+  EXPECT_NEAR(stats.interarrival.mean(), 125.0, 25.0);  // 1/0.008
+  EXPECT_EQ(stats.size_histogram.size(), 1u);           // all sequential
+  EXPECT_GT(stats.total_node_seconds, 0.0);
+  const std::string text = workload::describe(stats);
+  EXPECT_NE(text.find("jobs:"), std::string::npos);
+  EXPECT_NE(text.find("node requests:"), std::string::npos);
+}
+
+TEST(WorkloadStats, EmptyWorkload) {
+  const auto stats = workload::characterize({});
+  EXPECT_EQ(stats.n_jobs, 0u);
+  EXPECT_DOUBLE_EQ(stats.offered_load(100.0), 0.0);
+}
+
+TEST(WorkloadStats, OfferedLoadFormula) {
+  std::vector<sim::Job> jobs(2);
+  jobs[0].arrival = 0.0;
+  jobs[0].work = 100.0;
+  jobs[0].nodes = 2;  // 200 node-seconds
+  jobs[1].arrival = 100.0;
+  jobs[1].work = 50.0;
+  jobs[1].nodes = 4;  // 200 node-seconds
+  const auto stats = workload::characterize(jobs);
+  EXPECT_DOUBLE_EQ(stats.total_node_seconds, 400.0);
+  // capacity 8 node/s over span 100 s = 800; load = 0.5.
+  EXPECT_DOUBLE_EQ(stats.offered_load(8.0), 0.5);
+}
+
+}  // namespace
+}  // namespace gridsched::exp

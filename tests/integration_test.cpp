@@ -1,0 +1,205 @@
+// Whole-pipeline integration tests: full simulations through the experiment
+// harness, checking the paper's structural invariants on every algorithm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gridsched.hpp"
+
+namespace gridsched {
+namespace {
+
+core::StgaConfig tiny_stga() {
+  core::StgaConfig config;
+  config.ga.population = 24;
+  config.ga.generations = 8;
+  return config;
+}
+
+exp::Scenario tiny_psa(std::size_t n_jobs = 80) {
+  exp::Scenario scenario = exp::psa_scenario(n_jobs);
+  scenario.training_jobs = 30;
+  return scenario;
+}
+
+exp::Scenario tiny_nas(std::size_t n_jobs = 150) {
+  exp::Scenario scenario = exp::nas_scenario(n_jobs);
+  scenario.training_jobs = 30;
+  return scenario;
+}
+
+void check_invariants(const metrics::RunMetrics& run, std::size_t n_jobs,
+                      const std::string& label) {
+  EXPECT_EQ(run.n_jobs, n_jobs) << label;
+  EXPECT_GT(run.makespan, 0.0) << label;
+  EXPECT_GT(run.avg_response, 0.0) << label;
+  EXPECT_GE(run.slowdown_ratio, 1.0) << label;  // response >= execution
+  EXPECT_LE(run.n_fail, run.n_risk) << label;
+  EXPECT_GE(run.total_attempts, run.n_jobs) << label;
+  // Fail-stop: at most one failure per job.
+  EXPECT_LE(run.total_attempts, run.n_jobs + run.n_fail) << label;
+  for (const double util : run.site_utilization) {
+    EXPECT_GE(util, 0.0) << label;
+    EXPECT_LE(util, 1.0) << label;
+  }
+}
+
+TEST(Integration, PaperRosterHasSevenAlgorithmsInOrder) {
+  const auto roster = exp::paper_roster();
+  ASSERT_EQ(roster.size(), 7u);
+  EXPECT_EQ(roster[0].name, "Min-Min secure");
+  EXPECT_EQ(roster[1].name, "Min-Min f-risky");
+  EXPECT_EQ(roster[2].name, "Min-Min risky");
+  EXPECT_EQ(roster[3].name, "Sufferage secure");
+  EXPECT_EQ(roster[4].name, "Sufferage f-risky");
+  EXPECT_EQ(roster[5].name, "Sufferage risky");
+  EXPECT_EQ(roster[6].name, "STGA");
+  EXPECT_TRUE(roster[6].wants_training);
+  EXPECT_FALSE(roster[0].wants_training);
+}
+
+TEST(Integration, ScalingRosterIsTheFigTenTrio) {
+  const auto roster = exp::scaling_roster();
+  ASSERT_EQ(roster.size(), 3u);
+  EXPECT_EQ(roster[0].name, "Min-Min f-risky");
+  EXPECT_EQ(roster[1].name, "Sufferage f-risky");
+  EXPECT_EQ(roster[2].name, "STGA");
+}
+
+TEST(Integration, AllAlgorithmsCompleteTinyPsa) {
+  const auto scenario = tiny_psa();
+  for (const auto& spec : exp::paper_roster(0.5, tiny_stga())) {
+    const auto run = exp::run_once(scenario, spec, 4242);
+    check_invariants(run, 80, spec.name);
+  }
+}
+
+TEST(Integration, AllAlgorithmsCompleteTinyNas) {
+  const auto scenario = tiny_nas();
+  for (const auto& spec : exp::paper_roster(0.5, tiny_stga())) {
+    const auto run = exp::run_once(scenario, spec, 999);
+    check_invariants(run, 150, spec.name);
+  }
+}
+
+TEST(Integration, SecureModeNeverRisksOrFails) {
+  const auto scenario = tiny_psa();
+  for (const auto& spec :
+       {exp::heuristic_spec("min-min", security::RiskPolicy::secure()),
+        exp::heuristic_spec("sufferage", security::RiskPolicy::secure())}) {
+    const auto run = exp::run_once(scenario, spec, 7);
+    EXPECT_EQ(run.n_risk, 0u) << spec.name;
+    EXPECT_EQ(run.n_fail, 0u) << spec.name;
+  }
+}
+
+TEST(Integration, RiskyModesDoTakeRisk) {
+  const auto scenario = tiny_psa(120);
+  const auto spec =
+      exp::heuristic_spec("min-min", security::RiskPolicy::risky());
+  const auto run = exp::run_once(scenario, spec, 11);
+  EXPECT_GT(run.n_risk, 0u);
+}
+
+TEST(Integration, RunOnceIsDeterministicPerSeed) {
+  const auto scenario = tiny_psa();
+  const auto spec = exp::stga_spec(tiny_stga());
+  const auto a = exp::run_once(scenario, spec, 321);
+  const auto b = exp::run_once(scenario, spec, 321);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.avg_response, b.avg_response);
+  EXPECT_EQ(a.n_risk, b.n_risk);
+  EXPECT_EQ(a.n_fail, b.n_fail);
+}
+
+TEST(Integration, DifferentSeedsGiveDifferentWorkloads) {
+  const auto scenario = tiny_psa();
+  const auto spec =
+      exp::heuristic_spec("min-min", security::RiskPolicy::f_risky(0.5));
+  const auto a = exp::run_once(scenario, spec, 1);
+  const auto b = exp::run_once(scenario, spec, 2);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(Integration, ReplicatedRunsMatchSequentialAndParallel) {
+  const auto scenario = tiny_psa(50);
+  const auto spec =
+      exp::heuristic_spec("sufferage", security::RiskPolicy::f_risky(0.5));
+  util::ThreadPool pool(4);
+  const auto serial = exp::run_replicated(scenario, spec, 4, 77, nullptr);
+  const auto parallel = exp::run_replicated(scenario, spec, 4, 77, &pool);
+  ASSERT_EQ(serial.runs.size(), 4u);
+  ASSERT_EQ(parallel.runs.size(), 4u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(serial.runs[r].makespan, parallel.runs[r].makespan);
+    EXPECT_DOUBLE_EQ(serial.runs[r].avg_response, parallel.runs[r].avg_response);
+  }
+  EXPECT_EQ(serial.aggregate.runs(), 4u);
+  EXPECT_NEAR(serial.aggregate.makespan().mean(),
+              parallel.aggregate.makespan().mean(), 1e-9);
+}
+
+TEST(Integration, TrainingWarmsTheStgaTable) {
+  // Run the STGA training phase by hand and check the table fills.
+  const auto scenario = tiny_psa(60);
+  const auto workload = exp::make_workload(scenario, 5);
+  auto stga = core::make_stga(tiny_stga());
+  const auto training =
+      exp::make_training_workload(scenario, workload, 40, 6);
+  EXPECT_EQ(training.sites.size(), workload.sites.size());
+  sched::MinMinScheduler heuristic(security::RiskPolicy::risky());
+  core::RecordingScheduler recorder(heuristic, *stga);
+  sim::Engine engine(training.sites, training.jobs, scenario.engine);
+  engine.run(recorder);
+  EXPECT_GT(stga->history().size(), 0u);
+}
+
+TEST(Integration, SecureSlowerThanRiskyOnCongestedNas) {
+  // The paper's headline ordering at small scale, averaged over seeds to
+  // damp noise: secure-mode response time is materially worse.
+  const auto scenario = tiny_nas(300);
+  const auto secure =
+      exp::run_replicated(scenario,
+                          exp::heuristic_spec("min-min",
+                                              security::RiskPolicy::secure()),
+                          3, 1234);
+  const auto risky =
+      exp::run_replicated(scenario,
+                          exp::heuristic_spec("min-min",
+                                              security::RiskPolicy::risky()),
+                          3, 1234);
+  EXPECT_GT(secure.aggregate.avg_response().mean(),
+            risky.aggregate.avg_response().mean());
+}
+
+TEST(Integration, FRiskyInterpolatesRiskCounts) {
+  const auto scenario = tiny_psa(150);
+  const auto f0 = exp::run_once(
+      scenario, exp::heuristic_spec("min-min", security::RiskPolicy::secure()),
+      55);
+  const auto f_half = exp::run_once(
+      scenario,
+      exp::heuristic_spec("min-min", security::RiskPolicy::f_risky(0.5)), 55);
+  const auto f1 = exp::run_once(
+      scenario, exp::heuristic_spec("min-min", security::RiskPolicy::risky()),
+      55);
+  EXPECT_EQ(f0.n_risk, 0u);
+  EXPECT_GT(f_half.n_risk, 0u);
+  EXPECT_GE(f1.n_risk, f_half.n_risk / 2);  // loose: same order of magnitude
+}
+
+TEST(Integration, StgaSchedulerSecondsAreRecorded) {
+  const auto scenario = tiny_psa(60);
+  const auto run = exp::run_once(scenario, exp::stga_spec(tiny_stga()), 13);
+  EXPECT_GT(run.scheduler_seconds, 0.0);
+  EXPECT_GT(run.batch_invocations, 0u);
+}
+
+TEST(Integration, ClassicGaAlsoCompletes) {
+  const auto scenario = tiny_psa(60);
+  const auto run = exp::run_once(scenario, exp::classic_ga_spec(tiny_stga()), 17);
+  check_invariants(run, 60, "GA");
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,213 @@
+#include "security/security.hpp"
+#include "security/trust_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gridsched::security {
+namespace {
+
+// ------------------------------------------------------ Eq. 1 behaviour ---
+
+TEST(FailureProbability, ZeroWhenSafe) {
+  EXPECT_DOUBLE_EQ(failure_probability(0.6, 0.6), 0.0);
+  EXPECT_DOUBLE_EQ(failure_probability(0.6, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(failure_probability(0.0, 1.0), 0.0);
+}
+
+TEST(FailureProbability, MatchesClosedForm) {
+  const double lambda = 3.0;
+  EXPECT_NEAR(failure_probability(0.9, 0.4, lambda),
+              1.0 - std::exp(-lambda * 0.5), 1e-12);
+  EXPECT_NEAR(failure_probability(0.7, 0.6, lambda),
+              1.0 - std::exp(-lambda * 0.1), 1e-12);
+}
+
+TEST(FailureProbability, DefaultLambdaIsApplied) {
+  EXPECT_NEAR(failure_probability(0.9, 0.4),
+              1.0 - std::exp(-kDefaultLambda * 0.5), 1e-12);
+}
+
+TEST(FailureProbability, ApproachesOneForExtremeDeficits) {
+  EXPECT_LT(failure_probability(1.0, 0.0, 5.0), 1.0);
+  EXPECT_GT(failure_probability(1.0, 0.0, 5.0), 0.99);
+  // With an enormous lambda the double rounds to exactly 1.
+  EXPECT_DOUBLE_EQ(failure_probability(1.0, 0.0, 1000.0), 1.0);
+}
+
+/// Property grid: bounds and monotonicity of Eq. 1 in sd, sl and lambda.
+class FailureModelProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(FailureModelProperty, BoundsAndMonotonicity) {
+  const auto [sd, sl, lambda] = GetParam();
+  const double p = failure_probability(sd, sl, lambda);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  if (sd <= sl) {
+    EXPECT_DOUBLE_EQ(p, 0.0);
+  } else {
+    EXPECT_GT(p, 0.0);
+  }
+  // Monotone in demand, antitone in level, monotone in lambda.
+  EXPECT_LE(p, failure_probability(sd + 0.05, sl, lambda));
+  EXPECT_GE(p, failure_probability(sd, sl + 0.05, lambda));
+  EXPECT_LE(p, failure_probability(sd, sl, lambda + 0.5) + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FailureModelProperty,
+    ::testing::Combine(::testing::Values(0.6, 0.7, 0.8, 0.9),
+                       ::testing::Values(0.4, 0.55, 0.7, 0.85, 1.0),
+                       ::testing::Values(0.5, 1.0, 3.0, 10.0)));
+
+// ----------------------------------------------------------- Risk modes ---
+
+TEST(RiskPolicy, SecureAdmitsOnlySafeSites) {
+  const RiskPolicy policy = RiskPolicy::secure();
+  EXPECT_TRUE(policy.admissible(0.7, 0.7));
+  EXPECT_TRUE(policy.admissible(0.7, 0.9));
+  EXPECT_FALSE(policy.admissible(0.7, 0.69));
+}
+
+TEST(RiskPolicy, RiskyAdmitsEverything) {
+  const RiskPolicy policy = RiskPolicy::risky();
+  EXPECT_TRUE(policy.admissible(0.9, 0.4));
+  EXPECT_TRUE(policy.admissible(0.9, 1.0));
+}
+
+TEST(RiskPolicy, FRiskyBoundsFailureProbability) {
+  const double f = 0.5;
+  const RiskPolicy policy = RiskPolicy::f_risky(f);
+  for (double sd = 0.6; sd <= 0.9; sd += 0.05) {
+    for (double sl = 0.4; sl <= 1.0; sl += 0.05) {
+      if (policy.admissible(sd, sl)) {
+        EXPECT_LE(failure_probability(sd, sl, policy.lambda()), f);
+      } else {
+        EXPECT_GT(failure_probability(sd, sl, policy.lambda()), f);
+      }
+    }
+  }
+}
+
+TEST(RiskPolicy, FZeroEquivalentToSecure) {
+  const RiskPolicy f0 = RiskPolicy::f_risky(0.0);
+  const RiskPolicy secure = RiskPolicy::secure();
+  for (double sd = 0.6; sd <= 0.9; sd += 0.03) {
+    for (double sl = 0.4; sl <= 1.0; sl += 0.03) {
+      EXPECT_EQ(f0.admissible(sd, sl), secure.admissible(sd, sl))
+          << "sd=" << sd << " sl=" << sl;
+    }
+  }
+}
+
+TEST(RiskPolicy, FOneEquivalentToRisky) {
+  const RiskPolicy f1 = RiskPolicy::f_risky(1.0);
+  const RiskPolicy risky = RiskPolicy::risky();
+  for (double sd = 0.6; sd <= 0.9; sd += 0.03) {
+    for (double sl = 0.4; sl <= 1.0; sl += 0.03) {
+      EXPECT_EQ(f1.admissible(sd, sl), risky.admissible(sd, sl));
+    }
+  }
+}
+
+/// Admissible sets grow monotonically with f.
+class RiskMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(RiskMonotonicity, LargerFAdmitsSuperset) {
+  const double f = GetParam();
+  const RiskPolicy smaller = RiskPolicy::f_risky(f);
+  const RiskPolicy larger = RiskPolicy::f_risky(f + 0.2);
+  for (double sd = 0.6; sd <= 0.9; sd += 0.02) {
+    for (double sl = 0.4; sl <= 1.0; sl += 0.02) {
+      if (smaller.admissible(sd, sl)) {
+        EXPECT_TRUE(larger.admissible(sd, sl));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FSweep, RiskMonotonicity,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7));
+
+TEST(RiskPolicy, ModeNames) {
+  EXPECT_EQ(to_string(RiskMode::kSecure), "secure");
+  EXPECT_EQ(to_string(RiskMode::kFRisky), "f-risky");
+  EXPECT_EQ(to_string(RiskMode::kRisky), "risky");
+}
+
+TEST(RiskPolicy, AccessorsRoundTrip) {
+  const RiskPolicy policy = RiskPolicy::f_risky(0.25, 2.0);
+  EXPECT_EQ(policy.mode(), RiskMode::kFRisky);
+  EXPECT_DOUBLE_EQ(policy.f(), 0.25);
+  EXPECT_DOUBLE_EQ(policy.lambda(), 2.0);
+}
+
+// ----------------------------------------------------------- Trust index ---
+
+TEST(TrustIndex, EqualAttributesYieldThatValue) {
+  SiteSecurityAttributes attrs;
+  attrs.defense_capability = 0.8;
+  attrs.prior_success_rate = 0.8;
+  attrs.authentication_strength = 0.8;
+  attrs.isolation_quality = 0.8;
+  EXPECT_NEAR(trust_index(attrs), 0.8, 1e-12);
+}
+
+TEST(TrustIndex, WeightsBias) {
+  SiteSecurityAttributes attrs;
+  attrs.defense_capability = 1.0;
+  attrs.prior_success_rate = 0.0;
+  attrs.authentication_strength = 0.0;
+  attrs.isolation_quality = 0.0;
+  TrustWeights weights;
+  weights.defense = 1.0;
+  weights.history = weights.authentication = weights.isolation = 0.0;
+  EXPECT_DOUBLE_EQ(trust_index(attrs, weights), 1.0);
+}
+
+TEST(TrustIndex, ClampsOutOfRangeAttributes) {
+  SiteSecurityAttributes attrs;
+  attrs.defense_capability = 42.0;
+  attrs.prior_success_rate = -5.0;
+  attrs.authentication_strength = 1.0;
+  attrs.isolation_quality = 1.0;
+  const double index = trust_index(attrs);
+  EXPECT_GE(index, 0.0);
+  EXPECT_LE(index, 1.0);
+}
+
+TEST(TrustIndex, ZeroWeightsGiveZero) {
+  EXPECT_DOUBLE_EQ(trust_index({}, {0.0, 0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(SuccessHistory, StartsAtInitial) {
+  SuccessHistory history(0.1, 0.5);
+  EXPECT_DOUBLE_EQ(history.rate(), 0.5);
+  EXPECT_EQ(history.observations(), 0u);
+}
+
+TEST(SuccessHistory, ConvergesUpOnSuccesses) {
+  SuccessHistory history(0.2, 0.5);
+  for (int i = 0; i < 100; ++i) history.record(true);
+  EXPECT_GT(history.rate(), 0.99);
+  EXPECT_EQ(history.observations(), 100u);
+}
+
+TEST(SuccessHistory, ConvergesDownOnFailures) {
+  SuccessHistory history(0.2, 0.5);
+  for (int i = 0; i < 100; ++i) history.record(false);
+  EXPECT_LT(history.rate(), 0.01);
+}
+
+TEST(SuccessHistory, SingleObservationMovesByAlpha) {
+  SuccessHistory history(0.1, 0.5);
+  history.record(true);
+  EXPECT_NEAR(history.rate(), 0.55, 1e-12);
+  history.record(false);
+  EXPECT_NEAR(history.rate(), 0.495, 1e-12);
+}
+
+}  // namespace
+}  // namespace gridsched::security

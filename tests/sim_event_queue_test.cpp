@@ -1,0 +1,102 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gridsched::sim {
+namespace {
+
+Event at(Time time, EventKind kind = EventKind::kBatchCycle) {
+  Event event;
+  event.time = time;
+  event.kind = kind;
+  return event;
+}
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.push(at(5.0));
+  queue.push(at(1.0));
+  queue.push(at(3.0));
+  EXPECT_DOUBLE_EQ(queue.pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(queue.pop().time, 3.0);
+  EXPECT_DOUBLE_EQ(queue.pop().time, 5.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue queue;
+  Event first = at(2.0, EventKind::kJobArrival);
+  first.job = 1;
+  Event second = at(2.0, EventKind::kJobArrival);
+  second.job = 2;
+  Event third = at(2.0, EventKind::kJobArrival);
+  third.job = 3;
+  queue.push(first);
+  queue.push(second);
+  queue.push(third);
+  EXPECT_EQ(queue.pop().job, 1u);
+  EXPECT_EQ(queue.pop().job, 2u);
+  EXPECT_EQ(queue.pop().job, 3u);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue queue;
+  queue.push(at(10.0));
+  queue.push(at(4.0));
+  EXPECT_DOUBLE_EQ(queue.pop().time, 4.0);
+  queue.push(at(2.0));
+  queue.push(at(7.0));
+  EXPECT_DOUBLE_EQ(queue.pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(queue.pop().time, 7.0);
+  EXPECT_DOUBLE_EQ(queue.pop().time, 10.0);
+}
+
+TEST(EventQueue, TopPeeksWithoutRemoval) {
+  EventQueue queue;
+  queue.push(at(9.0));
+  queue.push(at(1.0));
+  EXPECT_DOUBLE_EQ(queue.top().time, 1.0);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(EventQueue, PreservesPayloadFields) {
+  EventQueue queue;
+  Event event = at(3.5, EventKind::kJobEnd);
+  event.job = 17;
+  event.site = 4;
+  event.is_failure = true;
+  queue.push(event);
+  const Event popped = queue.pop();
+  EXPECT_EQ(popped.kind, EventKind::kJobEnd);
+  EXPECT_EQ(popped.job, 17u);
+  EXPECT_EQ(popped.site, 4u);
+  EXPECT_TRUE(popped.is_failure);
+}
+
+TEST(EventQueue, LargeMixedLoadStaysSorted) {
+  EventQueue queue;
+  // Push times in a scrambled deterministic pattern.
+  for (int i = 0; i < 1000; ++i) {
+    queue.push(at(static_cast<double>((i * 7919) % 499)));
+  }
+  double last = -1.0;
+  std::size_t popped = 0;
+  while (!queue.empty()) {
+    const Event event = queue.pop();
+    EXPECT_GE(event.time, last);
+    last = event.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 1000u);
+}
+
+}  // namespace
+}  // namespace gridsched::sim

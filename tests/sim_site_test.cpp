@@ -1,0 +1,182 @@
+#include "sim/site.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gridsched::sim {
+namespace {
+
+TEST(NodeAvailability, RejectsZeroNodes) {
+  EXPECT_THROW(NodeAvailability(0), std::invalid_argument);
+}
+
+TEST(NodeAvailability, InitiallyFreeAtT0) {
+  const NodeAvailability avail(4, 100.0);
+  EXPECT_EQ(avail.nodes(), 4u);
+  for (const Time t : avail.free_times()) EXPECT_DOUBLE_EQ(t, 100.0);
+}
+
+TEST(NodeAvailability, EarliestStartValidatesK) {
+  const NodeAvailability avail(3);
+  EXPECT_THROW(static_cast<void>(avail.earliest_start(0, 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(avail.earliest_start(4, 0.0)), std::invalid_argument);
+}
+
+TEST(NodeAvailability, EarliestStartIsNowWhenIdle) {
+  const NodeAvailability avail(3, 0.0);
+  EXPECT_DOUBLE_EQ(avail.earliest_start(2, 50.0), 50.0);
+}
+
+TEST(NodeAvailability, ReserveOccupiesEarliestNodes) {
+  NodeAvailability avail(3, 0.0);
+  const auto w1 = avail.reserve(2, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(w1.start, 0.0);
+  EXPECT_DOUBLE_EQ(w1.end, 10.0);
+  // One node still free at 0, two at 10.
+  EXPECT_DOUBLE_EQ(avail.earliest_start(1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(avail.earliest_start(2, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(avail.earliest_start(3, 0.0), 10.0);
+}
+
+TEST(NodeAvailability, SequentialJobsQueueOnOneNode) {
+  NodeAvailability avail(1, 0.0);
+  EXPECT_DOUBLE_EQ(avail.reserve(1, 5.0, 0.0).end, 5.0);
+  EXPECT_DOUBLE_EQ(avail.reserve(1, 5.0, 0.0).start, 5.0);
+  EXPECT_DOUBLE_EQ(avail.reserve(1, 5.0, 12.0).start, 12.0);  // idle gap
+}
+
+TEST(NodeAvailability, PreviewDoesNotMutate) {
+  NodeAvailability avail(2, 0.0);
+  const auto before = avail.free_times();
+  const auto window = avail.preview(2, 7.0, 3.0);
+  EXPECT_DOUBLE_EQ(window.start, 3.0);
+  EXPECT_DOUBLE_EQ(window.end, 10.0);
+  EXPECT_EQ(avail.free_times(), before);
+}
+
+TEST(NodeAvailability, ProfileStaysSorted) {
+  NodeAvailability avail(4, 0.0);
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const unsigned k = 1 + static_cast<unsigned>(rng.index(4));
+    avail.reserve(k, rng.uniform(1.0, 20.0), rng.uniform(0.0, 50.0));
+    EXPECT_TRUE(std::is_sorted(avail.free_times().begin(),
+                               avail.free_times().end()));
+  }
+}
+
+/// Property: earliest_start(k) equals the k-th smallest free time, checked
+/// against a brute-force recomputation after random reservation sequences.
+class AvailabilityProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AvailabilityProperty, KthSmallestMatchesBruteForce) {
+  const unsigned nodes = GetParam();
+  NodeAvailability avail(nodes, 0.0);
+  util::Rng rng(nodes * 101);
+  for (int step = 0; step < 50; ++step) {
+    const unsigned k = 1 + static_cast<unsigned>(rng.index(nodes));
+    const Time now = rng.uniform(0.0, 100.0);
+    std::vector<Time> copy = avail.free_times();
+    std::sort(copy.begin(), copy.end());
+    EXPECT_DOUBLE_EQ(avail.earliest_start(k, now),
+                     std::max(now, copy[k - 1]));
+    avail.reserve(k, rng.uniform(0.5, 10.0), now);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, AvailabilityProperty,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u));
+
+TEST(NodeAvailability, ReleaseReclaimsUntouchedNodes) {
+  NodeAvailability avail(2, 0.0);
+  const auto window = avail.reserve(2, 10.0, 0.0);
+  EXPECT_EQ(avail.release(2, window.end, 4.0), 2u);
+  EXPECT_DOUBLE_EQ(avail.earliest_start(2, 0.0), 4.0);
+}
+
+TEST(NodeAvailability, ReleaseSkipsReReservedNodes) {
+  NodeAvailability avail(2, 0.0);
+  const auto w1 = avail.reserve(1, 10.0, 0.0);   // node A busy to 10
+  avail.reserve(2, 5.0, 0.0);                    // both nodes busy 10..15
+  // Node A's free time is now 15, not w1.end: release finds nothing at 10.
+  EXPECT_EQ(avail.release(1, w1.end, 2.0), 0u);
+}
+
+TEST(NodeAvailability, ReleasePartialCount) {
+  NodeAvailability avail(4, 0.0);
+  const auto window = avail.reserve(3, 8.0, 0.0);
+  // Ask to release only 2 of the 3 reserved nodes.
+  EXPECT_EQ(avail.release(2, window.end, 1.0), 2u);
+  const auto& times = avail.free_times();
+  EXPECT_EQ(std::count(times.begin(), times.end(), 8.0), 1);
+  EXPECT_EQ(std::count(times.begin(), times.end(), 1.0), 2);
+}
+
+TEST(NodeAvailability, ReleaseRejectsLateTimes) {
+  NodeAvailability avail(1, 0.0);
+  const auto window = avail.reserve(1, 5.0, 0.0);
+  EXPECT_THROW(avail.release(1, window.end, 6.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- sites ---
+
+SiteConfig config_of(unsigned nodes, double speed, double security) {
+  return {0, nodes, speed, security};
+}
+
+TEST(GridSite, RejectsNonPositiveSpeed) {
+  EXPECT_THROW(GridSite(config_of(2, 0.0, 0.5)), std::invalid_argument);
+  EXPECT_THROW(GridSite(config_of(2, -1.0, 0.5)), std::invalid_argument);
+}
+
+TEST(GridSite, ExecTimeScalesWithSpeed) {
+  const GridSite site(config_of(2, 4.0, 0.5));
+  EXPECT_DOUBLE_EQ(site.exec_time(100.0), 25.0);
+}
+
+TEST(GridSite, FitsChecksNodeCount) {
+  const GridSite site(config_of(8, 1.0, 0.5));
+  EXPECT_TRUE(site.fits(8));
+  EXPECT_TRUE(site.fits(1));
+  EXPECT_FALSE(site.fits(9));
+}
+
+TEST(GridSite, DispatchRejectsOversizedJobs) {
+  GridSite site(config_of(2, 1.0, 0.5));
+  EXPECT_THROW(site.dispatch(3, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(GridSite, DispatchCountsJobs) {
+  GridSite site(config_of(2, 1.0, 0.5));
+  site.dispatch(1, 5.0, 0.0);
+  site.dispatch(2, 5.0, 0.0);
+  EXPECT_EQ(site.dispatched_jobs(), 2u);
+}
+
+TEST(GridSite, UtilizationAccounting) {
+  GridSite site(config_of(4, 1.0, 0.5));
+  site.account_busy(2, 50.0);  // 100 node-seconds
+  EXPECT_DOUBLE_EQ(site.busy_node_seconds(), 100.0);
+  EXPECT_DOUBLE_EQ(site.utilization(100.0), 0.25);  // 100 / (4*100)
+  EXPECT_DOUBLE_EQ(site.utilization(0.0), 0.0);
+}
+
+TEST(GridSite, UtilizationClampsToOne) {
+  GridSite site(config_of(1, 1.0, 0.5));
+  site.account_busy(1, 1000.0);
+  EXPECT_DOUBLE_EQ(site.utilization(10.0), 1.0);
+}
+
+TEST(GridSite, ReleaseAfterFailureShortensBacklog) {
+  GridSite site(config_of(1, 1.0, 0.5));
+  const auto window = site.dispatch(1, 100.0, 0.0);
+  site.release_after_failure(1, window.end, 30.0);
+  EXPECT_DOUBLE_EQ(site.availability().earliest_start(1, 0.0), 30.0);
+}
+
+}  // namespace
+}  // namespace gridsched::sim

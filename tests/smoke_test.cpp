@@ -1,0 +1,26 @@
+// End-to-end smoke: a tiny PSA run with every paper algorithm finishes and
+// satisfies the global invariants.
+#include <gtest/gtest.h>
+
+#include "gridsched.hpp"
+
+namespace gridsched {
+namespace {
+
+TEST(Smoke, TinyPsaRunAllAlgorithms) {
+  exp::Scenario scenario = exp::psa_scenario(60);
+  scenario.training_jobs = 40;
+  core::StgaConfig stga;
+  stga.ga.population = 30;
+  stga.ga.generations = 10;
+  for (const exp::AlgorithmSpec& spec : exp::paper_roster(0.5, stga)) {
+    const metrics::RunMetrics run = exp::run_once(scenario, spec, 1234);
+    EXPECT_EQ(run.n_jobs, 60u) << spec.name;
+    EXPECT_GT(run.makespan, 0.0) << spec.name;
+    EXPECT_LE(run.n_fail, run.n_risk) << spec.name;
+    EXPECT_GE(run.slowdown_ratio, 1.0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace gridsched

@@ -1,0 +1,165 @@
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gridsched::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ci95_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(4.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MatchesNaiveOnRandomData) {
+  std::vector<double> data;
+  double x = 0.1;
+  for (int i = 0; i < 1000; ++i) {
+    x = std::fmod(x * 97.31 + 3.7, 13.0);
+    data.push_back(x);
+  }
+  RunningStats stats;
+  for (const double v : data) stats.add(v);
+  double sum = 0.0;
+  for (const double v : data) sum += v;
+  const double mean = sum / static_cast<double>(data.size());
+  double ss = 0.0;
+  for (const double v : data) ss += (v - mean) * (v - mean);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), ss / static_cast<double>(data.size() - 1), 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats whole;
+  RunningStats part_a;
+  RunningStats part_b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10.0 + i * 0.1;
+    whole.add(v);
+    (i < 40 ? part_a : part_b).add(v);
+  }
+  part_a.merge(part_b);
+  EXPECT_EQ(part_a.count(), whole.count());
+  EXPECT_NEAR(part_a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(part_a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(part_a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(part_a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);  // empty.merge(full)
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  RunningStats c;
+  a.merge(c);  // full.merge(empty)
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(Percentile, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+}
+
+TEST(Percentile, ExtremesAndClamping) {
+  const std::vector<double> v = {4.0, 2.0, 8.0, 6.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(percentile(v, -3.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 8.0);
+}
+
+TEST(MeanStdDevOf, MatchRunningStats) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.5);
+  EXPECT_NEAR(stddev_of(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({}), 0.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(Histogram, CountsBucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  for (const double x : {-1.0, 0.0, 1.9, 2.0, 5.5, 9.999, 10.0, 42.0}) h.add(x);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 8u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.0, 1.9
+  EXPECT_EQ(h.count(1), 1u);  // 2.0
+  EXPECT_EQ(h.count(2), 1u);  // 5.5
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_EQ(h.count(4), 1u);  // 9.999
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 17.5);
+  EXPECT_THROW(static_cast<void>(h.bucket_lo(4)), std::out_of_range);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const std::string render = h.render(10);
+  EXPECT_NE(render.find('#'), std::string::npos);
+  EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace gridsched::util

@@ -1,0 +1,149 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gridsched::util {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoidTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto future = pool.submit([&] { counter.fetch_add(1); });
+  future.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllExecute) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForSingleItem) {
+  ThreadPool pool(2);
+  int value = 0;
+  pool.parallel_for(1, [&](std::size_t i) { value = static_cast<int>(i) + 5; });
+  EXPECT_EQ(value, 5);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long long> out(10000);
+  pool.parallel_for(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<long long>(i) * 2;
+  });
+  const long long total = std::accumulate(out.begin(), out.end(), 0LL);
+  EXPECT_EQ(total, 9999LL * 10000LL);  // 2 * n(n-1)/2
+}
+
+TEST(ThreadPool, ParallelForExplicitChunking) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> visits(37);
+  pool.parallel_for(37, [&](std::size_t i) { visits[i].fetch_add(1); }, 5);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForMoreChunksThanItems) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> visits(3);
+  pool.parallel_for(3, [&](std::size_t i) { visits[i].fetch_add(1); }, 100);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 41) throw std::logic_error("bad");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  std::atomic<bool> first_running{false};
+  std::atomic<bool> second_observed_first{false};
+  auto f1 = pool.submit([&] {
+    first_running.store(true);
+    // Busy-wait until the other task sees us (bounded to avoid hangs).
+    for (int i = 0; i < 1000000 && !second_observed_first.load(); ++i) {
+      std::this_thread::yield();
+    }
+  });
+  auto f2 = pool.submit([&] {
+    for (int i = 0; i < 1000000 && !first_running.load(); ++i) {
+      std::this_thread::yield();
+    }
+    second_observed_first.store(first_running.load());
+  });
+  f1.get();
+  f2.get();
+  EXPECT_TRUE(second_observed_first.load());
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { counter.fetch_add(1); });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+}  // namespace
+}  // namespace gridsched::util
