@@ -1,6 +1,8 @@
 #include "exp/scenario.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
 namespace gridsched::exp {
 
@@ -23,11 +25,24 @@ Scenario psa_scenario(std::size_t n_jobs) {
   return scenario;
 }
 
+Scenario synth_scenario(workload::synth::SynthConfig config) {
+  Scenario scenario;
+  scenario.kind = ScenarioKind::kSynth;
+  scenario.synth = std::move(config);
+  scenario.engine.batch_interval = 2000.0;
+  return scenario;
+}
+
 workload::Workload make_workload(const Scenario& scenario, std::uint64_t seed) {
-  if (scenario.kind == ScenarioKind::kNas) {
-    return workload::nas_workload(scenario.nas, seed);
+  switch (scenario.kind) {
+    case ScenarioKind::kNas:
+      return workload::nas_workload(scenario.nas, seed);
+    case ScenarioKind::kPsa:
+      return workload::psa_workload(scenario.psa, seed);
+    case ScenarioKind::kSynth:
+      return workload::synth::synth_workload(scenario.synth, seed);
   }
-  return workload::psa_workload(scenario.psa, seed);
+  throw std::invalid_argument("make_workload: unknown scenario kind");
 }
 
 workload::Workload make_training_workload(const Scenario& scenario,
@@ -41,6 +56,8 @@ workload::Workload make_training_workload(const Scenario& scenario,
     training.nas.n_jobs = n_jobs;
     training.nas.horizon =
         std::max(training.nas.horizon * fraction, 10.0 * 4000.0);
+  } else if (training.kind == ScenarioKind::kSynth) {
+    training.synth.n_jobs = n_jobs;
   } else {
     training.psa.n_jobs = n_jobs;
   }

@@ -7,16 +7,18 @@
 #include "sim/engine.hpp"
 #include "workload/nas.hpp"
 #include "workload/psa.hpp"
+#include "workload/synth/synth.hpp"
 #include "workload/workload.hpp"
 
 namespace gridsched::exp {
 
-enum class ScenarioKind { kNas, kPsa };
+enum class ScenarioKind { kNas, kPsa, kSynth };
 
 struct Scenario {
   ScenarioKind kind = ScenarioKind::kPsa;
   workload::NasTraceConfig nas;
   workload::PsaConfig psa;
+  workload::synth::SynthConfig synth;
   sim::EngineConfig engine;
   /// Training jobs for STGA-style schedulers (paper Table 1: 500).
   std::size_t training_jobs = 500;
@@ -27,6 +29,9 @@ Scenario nas_scenario(std::size_t n_jobs = 16000);
 
 /// PSA testbed: N jobs / 20 sites, 2000 s batches.
 Scenario psa_scenario(std::size_t n_jobs = 1000);
+
+/// Synthetic testbed from an explicit generator config, 2000 s batches.
+Scenario synth_scenario(workload::synth::SynthConfig config);
 
 /// Materialise the scenario's workload; deterministic in (scenario, seed).
 workload::Workload make_workload(const Scenario& scenario, std::uint64_t seed);

@@ -1,0 +1,185 @@
+#include "exp/scenario_registry.hpp"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace gridsched::exp {
+
+namespace {
+
+using workload::synth::ArrivalProcess;
+using workload::synth::EtcConsistency;
+using workload::synth::Heterogeneity;
+using workload::synth::SecurityProfile;
+using workload::synth::SynthConfig;
+
+struct ScenarioEntry {
+  std::string description;
+  std::function<Scenario()> make;
+};
+
+/// Shared base for the synthetic scenarios: a 16-site grid mixing one
+/// 16-node and three 4-node sites per 8-node site, modest job count so
+/// sweeps over many scenarios stay fast, NAS-like power-of-two requests.
+SynthConfig synth_base(std::string name) {
+  SynthConfig config;
+  config.name = std::move(name);
+  config.n_jobs = 1000;
+  config.n_sites = 16;
+  config.site_node_pattern = {16, 4, 8, 4, 4};
+  config.size_weights = {0.4, 0.25, 0.2, 0.1, 0.05};
+  config.arrival.process = ArrivalProcess::kPoisson;
+  config.arrival.rate = 0.05;
+  return config;
+}
+
+SynthConfig etc_class(EtcConsistency consistency, Heterogeneity task,
+                      Heterogeneity machine, std::string name) {
+  SynthConfig config = synth_base(std::move(name));
+  config.etc.consistency = consistency;
+  config.etc.task_heterogeneity = task;
+  config.etc.machine_heterogeneity = machine;
+  return config;
+}
+
+const std::map<std::string, ScenarioEntry>& registry() {
+  static const std::map<std::string, ScenarioEntry> table = {
+      {"nas",
+       {"NAS iPSC/860 trace testbed (paper Table 1; 12 sites)",
+        [] { return nas_scenario(2000); }}},
+      {"psa",
+       {"parameter-sweep application testbed (paper Table 1; 20 sites)",
+        [] { return psa_scenario(500); }}},
+      {"synth-consistent-hihi",
+       {"consistent ETC, hi task / hi machine heterogeneity",
+        [] {
+          return synth_scenario(etc_class(EtcConsistency::kConsistent,
+                                          Heterogeneity::kHi,
+                                          Heterogeneity::kHi,
+                                          "synth-consistent-hihi"));
+        }}},
+      {"synth-consistent-lolo",
+       {"consistent ETC, lo task / lo machine heterogeneity",
+        [] {
+          return synth_scenario(etc_class(EtcConsistency::kConsistent,
+                                          Heterogeneity::kLo,
+                                          Heterogeneity::kLo,
+                                          "synth-consistent-lolo"));
+        }}},
+      {"synth-semi-hihi",
+       {"semi-consistent ETC, hi task / hi machine heterogeneity",
+        [] {
+          return synth_scenario(etc_class(EtcConsistency::kSemiConsistent,
+                                          Heterogeneity::kHi,
+                                          Heterogeneity::kHi,
+                                          "synth-semi-hihi"));
+        }}},
+      {"synth-semi-lolo",
+       {"semi-consistent ETC, lo task / lo machine heterogeneity",
+        [] {
+          return synth_scenario(etc_class(EtcConsistency::kSemiConsistent,
+                                          Heterogeneity::kLo,
+                                          Heterogeneity::kLo,
+                                          "synth-semi-lolo"));
+        }}},
+      {"synth-inconsistent-hihi",
+       {"inconsistent ETC, hi task / hi machine heterogeneity",
+        [] {
+          return synth_scenario(etc_class(EtcConsistency::kInconsistent,
+                                          Heterogeneity::kHi,
+                                          Heterogeneity::kHi,
+                                          "synth-inconsistent-hihi"));
+        }}},
+      {"synth-inconsistent-lolo",
+       {"inconsistent ETC, lo task / lo machine heterogeneity",
+        [] {
+          return synth_scenario(etc_class(EtcConsistency::kInconsistent,
+                                          Heterogeneity::kLo,
+                                          Heterogeneity::kLo,
+                                          "synth-inconsistent-lolo"));
+        }}},
+      {"synth-batch",
+       {"staged batch arrival waves (4 x 8000 s apart)",
+        [] {
+          SynthConfig config = synth_base("synth-batch");
+          config.arrival.process = ArrivalProcess::kBatch;
+          config.arrival.batch_waves = 4;
+          config.arrival.wave_interval = 8000.0;
+          return synth_scenario(std::move(config));
+        }}},
+      {"synth-bursty",
+       {"bursty ON/OFF arrivals (flash-crowd regime)",
+        [] {
+          SynthConfig config = synth_base("synth-bursty");
+          config.arrival.process = ArrivalProcess::kBurstyOnOff;
+          config.arrival.on_duration = 1500.0;
+          config.arrival.off_duration = 6000.0;
+          config.arrival.burst_rate = 0.25;
+          return synth_scenario(std::move(config));
+        }}},
+      {"synth-secure",
+       {"trust-dominant security regime (risk rarely needed)",
+        [] {
+          SynthConfig config = synth_base("synth-secure");
+          config.security = SecurityProfile::secure();
+          return synth_scenario(std::move(config));
+        }}},
+      {"synth-risky",
+       {"demand-dominant security regime (secure placements scarce)",
+        [] {
+          SynthConfig config = synth_base("synth-risky");
+          config.security = SecurityProfile::risky();
+          return synth_scenario(std::move(config));
+        }}},
+  };
+  return table;
+}
+
+const ScenarioEntry& find_entry(const std::string& name) {
+  const auto it = registry().find(name);
+  if (it == registry().end()) {
+    std::string message = "unknown scenario: " + name + " (valid:";
+    for (const auto& [known, entry] : registry()) message += " " + known;
+    throw std::invalid_argument(message + ")");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, entry] : registry()) names.push_back(name);
+  return names;
+}
+
+std::string scenario_description(const std::string& name) {
+  return find_entry(name).description;
+}
+
+Scenario make_scenario(const std::string& name, std::size_t n_jobs) {
+  Scenario scenario = find_entry(name).make();
+  if (n_jobs > 0) {
+    switch (scenario.kind) {
+      case ScenarioKind::kNas: {
+        // Scale the horizon with the job count (constant offered load)
+        // in place, preserving any other per-entry customisation.
+        scenario.nas.horizon *= static_cast<double>(n_jobs) /
+                                static_cast<double>(scenario.nas.n_jobs);
+        scenario.nas.n_jobs = n_jobs;
+        break;
+      }
+      case ScenarioKind::kPsa:
+        scenario.psa.n_jobs = n_jobs;
+        break;
+      case ScenarioKind::kSynth:
+        scenario.synth.n_jobs = n_jobs;
+        break;
+    }
+  }
+  return scenario;
+}
+
+}  // namespace gridsched::exp

@@ -1,0 +1,25 @@
+// Name -> scenario factory, mirroring sched/registry, so the CLI, runner,
+// examples and benches can all select experiment scenarios by name
+// ("nas", "psa", "synth-inconsistent-hihi", ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace gridsched::exp {
+
+/// Registered scenario names (sorted).
+std::vector<std::string> scenario_names();
+
+/// One-line description of a registered scenario (for --help/list output);
+/// throws std::invalid_argument for unknown names.
+std::string scenario_description(const std::string& name);
+
+/// Instantiate by name with each scenario's default size; pass `n_jobs` to
+/// override the job count (0 keeps the default). Throws
+/// std::invalid_argument for unknown names, listing the valid ones.
+Scenario make_scenario(const std::string& name, std::size_t n_jobs = 0);
+
+}  // namespace gridsched::exp

@@ -12,6 +12,7 @@
 #include "exp/roster.hpp"           // IWYU pragma: export
 #include "exp/runner.hpp"           // IWYU pragma: export
 #include "exp/scenario.hpp"         // IWYU pragma: export
+#include "exp/scenario_registry.hpp" // IWYU pragma: export
 #include "metrics/metrics.hpp"      // IWYU pragma: export
 #include "sched/etc_matrix.hpp"     // IWYU pragma: export
 #include "sched/heuristics.hpp"     // IWYU pragma: export
@@ -28,4 +29,5 @@
 #include "workload/nas.hpp"         // IWYU pragma: export
 #include "workload/psa.hpp"         // IWYU pragma: export
 #include "workload/sites.hpp"       // IWYU pragma: export
+#include "workload/synth/synth.hpp" // IWYU pragma: export
 #include "workload/trace_io.hpp"    // IWYU pragma: export

@@ -66,4 +66,15 @@ bool Cli::get_or(const std::string& name, bool fallback) const {
   return *value == "true" || *value == "1" || *value == "yes" || *value == "on";
 }
 
+std::string Cli::get_choice(const std::string& name, std::string fallback,
+                            std::span<const std::string> choices) const {
+  const std::string value = get_or(name, std::move(fallback));
+  for (const std::string& choice : choices) {
+    if (value == choice) return value;
+  }
+  std::string message = "Cli: flag --" + name + "=" + value + " (valid:";
+  for (const std::string& choice : choices) message += " " + choice;
+  throw std::invalid_argument(message + ")");
+}
+
 }  // namespace gridsched::util

@@ -1,0 +1,91 @@
+#include "workload/synth/arrival.hpp"
+
+#include <stdexcept>
+
+namespace gridsched::workload::synth {
+
+std::string to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kBatch: return "batch";
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBurstyOnOff: return "bursty";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<sim::Time> batch_arrivals(std::size_t n,
+                                      const ArrivalConfig& config) {
+  if (config.batch_waves == 0) {
+    throw std::invalid_argument("arrival_times: batch_waves == 0");
+  }
+  if (config.batch_waves > 1 && config.wave_interval <= 0.0) {
+    throw std::invalid_argument("arrival_times: wave_interval must be > 0");
+  }
+  std::vector<sim::Time> times;
+  times.reserve(n);
+  const std::size_t waves = config.batch_waves;
+  const std::size_t per_wave = n / waves;
+  const std::size_t remainder = n % waves;
+  for (std::size_t w = 0; w < waves && times.size() < n; ++w) {
+    const std::size_t count = per_wave + (w < remainder ? 1 : 0);
+    const sim::Time at = static_cast<double>(w) * config.wave_interval;
+    for (std::size_t i = 0; i < count; ++i) times.push_back(at);
+  }
+  return times;
+}
+
+std::vector<sim::Time> poisson_arrivals(std::size_t n,
+                                        const ArrivalConfig& config,
+                                        util::Rng& rng) {
+  if (config.rate <= 0.0) {
+    throw std::invalid_argument("arrival_times: rate must be > 0");
+  }
+  std::vector<sim::Time> times;
+  times.reserve(n);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    clock += rng.exponential(config.rate);
+    times.push_back(clock);
+  }
+  return times;
+}
+
+std::vector<sim::Time> bursty_arrivals(std::size_t n,
+                                       const ArrivalConfig& config,
+                                       util::Rng& rng) {
+  if (config.burst_rate <= 0.0 || config.on_duration <= 0.0 ||
+      config.off_duration <= 0.0) {
+    throw std::invalid_argument("arrival_times: bad bursty parameters");
+  }
+  std::vector<sim::Time> times;
+  times.reserve(n);
+  double clock = 0.0;
+  while (times.size() < n) {
+    // One ON period with Poisson arrivals, then a silent OFF period.
+    const double on_end = clock + rng.exponential(1.0 / config.on_duration);
+    while (times.size() < n) {
+      const double step = rng.exponential(config.burst_rate);
+      if (clock + step > on_end) break;
+      clock += step;
+      times.push_back(clock);
+    }
+    clock = on_end + rng.exponential(1.0 / config.off_duration);
+  }
+  return times;
+}
+
+}  // namespace
+
+std::vector<sim::Time> arrival_times(std::size_t n, const ArrivalConfig& config,
+                                     util::Rng& rng) {
+  switch (config.process) {
+    case ArrivalProcess::kBatch: return batch_arrivals(n, config);
+    case ArrivalProcess::kPoisson: return poisson_arrivals(n, config, rng);
+    case ArrivalProcess::kBurstyOnOff: return bursty_arrivals(n, config, rng);
+  }
+  throw std::invalid_argument("arrival_times: unknown process");
+}
+
+}  // namespace gridsched::workload::synth

@@ -1,0 +1,45 @@
+// Pluggable arrival-process models for synthetic workloads: batch waves,
+// homogeneous Poisson, and a bursty ON/OFF (interrupted Poisson) process.
+// All generators return sorted arrival times and are deterministic in
+// (n, config, rng state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+
+namespace gridsched::workload::synth {
+
+enum class ArrivalProcess {
+  kBatch,       ///< fixed waves at k * wave_interval, jobs split evenly
+  kPoisson,     ///< homogeneous Poisson at `rate`
+  kBurstyOnOff, ///< Poisson at `burst_rate` during exponential ON periods
+};
+
+std::string to_string(ArrivalProcess process);
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// kPoisson: arrival rate, jobs per second.
+  double rate = 0.01;
+  /// kBatch: number of waves and their spacing (seconds). Remainder jobs
+  /// land in the earliest waves.
+  std::size_t batch_waves = 1;
+  double wave_interval = 2000.0;
+  /// kBurstyOnOff: mean ON / OFF period lengths (seconds, exponential) and
+  /// the Poisson rate while ON. The long-run mean rate is
+  /// burst_rate * on_duration / (on_duration + off_duration).
+  double on_duration = 1000.0;
+  double off_duration = 4000.0;
+  double burst_rate = 0.05;
+};
+
+/// Generate `n` sorted arrival times; throws std::invalid_argument on
+/// non-positive rates/durations or zero waves.
+std::vector<sim::Time> arrival_times(std::size_t n, const ArrivalConfig& config,
+                                     util::Rng& rng);
+
+}  // namespace gridsched::workload::synth

@@ -1,0 +1,133 @@
+#include "workload/synth/etc_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace gridsched::workload::synth {
+
+std::string to_string(EtcConsistency consistency) {
+  switch (consistency) {
+    case EtcConsistency::kConsistent: return "consistent";
+    case EtcConsistency::kSemiConsistent: return "semi-consistent";
+    case EtcConsistency::kInconsistent: return "inconsistent";
+  }
+  return "?";
+}
+
+std::string to_string(Heterogeneity heterogeneity) {
+  return heterogeneity == Heterogeneity::kHi ? "hi" : "lo";
+}
+
+EtcMatrixData generate_etc(std::size_t tasks, std::size_t machines,
+                           const EtcConfig& config, util::Rng& rng) {
+  if (tasks == 0 || machines == 0) {
+    throw std::invalid_argument("generate_etc: empty matrix requested");
+  }
+  if (config.task_range() < 1.0 || config.machine_range() < 1.0) {
+    throw std::invalid_argument("generate_etc: ranges must be >= 1");
+  }
+  EtcMatrixData etc;
+  etc.tasks = tasks;
+  etc.machines = machines;
+  etc.cells.resize(tasks * machines);
+
+  // A single machine ordering shared by every sorted row keeps the
+  // consistent classes meaningful: "machine a beats machine b" must mean
+  // the same machines across rows, so we sort rows in place (column index
+  // order *is* the shared ordering, as in Braun et al.).
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const double tau = rng.uniform(1.0, config.task_range());
+    double* row = etc.cells.data() + t * machines;
+    for (std::size_t m = 0; m < machines; ++m) {
+      row[m] = tau * rng.uniform(1.0, config.machine_range());
+    }
+    switch (config.consistency) {
+      case EtcConsistency::kConsistent:
+        std::sort(row, row + machines);
+        break;
+      case EtcConsistency::kSemiConsistent: {
+        // Sort the even-indexed cells among themselves; odd columns keep
+        // their unordered draws.
+        std::vector<double> even;
+        even.reserve((machines + 1) / 2);
+        for (std::size_t m = 0; m < machines; m += 2) even.push_back(row[m]);
+        std::sort(even.begin(), even.end());
+        for (std::size_t i = 0; i < even.size(); ++i) row[2 * i] = even[i];
+        break;
+      }
+      case EtcConsistency::kInconsistent:
+        break;
+    }
+  }
+  return etc;
+}
+
+bool columns_consistent(const EtcMatrixData& etc,
+                        const std::vector<std::size_t>& machine_columns) {
+  if (machine_columns.size() < 2) return true;
+  // Order the columns by their first row, then require every other row to
+  // respect that order.
+  std::vector<std::size_t> order = machine_columns;
+  std::sort(order.begin(), order.end(),
+            [&etc](std::size_t a, std::size_t b) {
+              return etc.at(0, a) < etc.at(0, b);
+            });
+  for (std::size_t t = 1; t < etc.tasks; ++t) {
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      if (etc.at(t, order[i - 1]) > etc.at(t, order[i])) return false;
+    }
+  }
+  return true;
+}
+
+WorkSpeedFit fit_work_speed(const EtcMatrixData& etc) {
+  if (etc.tasks == 0 || etc.machines == 0) {
+    throw std::invalid_argument("fit_work_speed: empty matrix");
+  }
+  // Model log E(t, m) = log work[t] - log speed[m]. The least-squares
+  // solution in the log domain is row mean / column mean centring; the
+  // gauge (one free constant) is fixed so mean(log speed) = 0.
+  const auto tasks = etc.tasks;
+  const auto machines = etc.machines;
+  std::vector<double> row_mean(tasks, 0.0);
+  std::vector<double> col_mean(machines, 0.0);
+  double grand = 0.0;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t m = 0; m < machines; ++m) {
+      const double cell = etc.at(t, m);
+      if (!(cell > 0.0)) {
+        throw std::invalid_argument("fit_work_speed: non-positive cell");
+      }
+      const double log_cell = std::log(cell);
+      row_mean[t] += log_cell;
+      col_mean[m] += log_cell;
+      grand += log_cell;
+    }
+  }
+  for (double& x : row_mean) x /= static_cast<double>(machines);
+  for (double& x : col_mean) x /= static_cast<double>(tasks);
+  grand /= static_cast<double>(tasks * machines);
+
+  WorkSpeedFit fit;
+  fit.work.resize(tasks);
+  fit.speed.resize(machines);
+  for (std::size_t t = 0; t < tasks; ++t) fit.work[t] = std::exp(row_mean[t]);
+  for (std::size_t m = 0; m < machines; ++m) {
+    fit.speed[m] = std::exp(grand - col_mean[m]);
+  }
+
+  double sq = 0.0;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t m = 0; m < machines; ++m) {
+      const double predicted = row_mean[t] - (grand - col_mean[m]);
+      const double residual = std::log(etc.at(t, m)) - predicted;
+      sq += residual * residual;
+    }
+  }
+  fit.log_rms_residual = std::sqrt(sq / static_cast<double>(tasks * machines));
+  return fit;
+}
+
+}  // namespace gridsched::workload::synth

@@ -1,0 +1,124 @@
+#include "workload/synth/synth.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gridsched::workload::synth {
+
+namespace {
+
+// Independent child-stream indices, so adding draws to one component never
+// perturbs the others (stability of the (config, seed) contract).
+enum StreamIndex : std::uint64_t {
+  kEtcStream = 0x51,
+  kArrivalStream,
+  kSecurityStream,
+  kSizeStream,
+  kDemandStream,
+};
+
+std::vector<sim::SiteConfig> build_sites(const SynthConfig& config,
+                                         const std::vector<double>& speeds) {
+  std::vector<sim::SiteConfig> sites(config.n_sites);
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    sites[s].id = static_cast<sim::SiteId>(s);
+    sites[s].nodes =
+        config.site_node_pattern[s % config.site_node_pattern.size()];
+    if (sites[s].nodes == 0) {
+      throw std::invalid_argument("synth_workload: zero-node site");
+    }
+    sites[s].speed = speeds[s];
+  }
+  return sites;
+}
+
+unsigned draw_nodes(const SynthConfig& config, unsigned max_nodes,
+                    util::Rng& rng) {
+  const double total = std::accumulate(config.size_weights.begin(),
+                                       config.size_weights.end(), 0.0);
+  double pick = rng.uniform() * total;
+  unsigned nodes = 1;
+  for (const double weight : config.size_weights) {
+    pick -= weight;
+    if (pick < 0.0) break;
+    nodes *= 2;
+  }
+  return std::min(nodes, max_nodes);
+}
+
+}  // namespace
+
+Workload synth_workload(const SynthConfig& config, std::uint64_t seed) {
+  return synth_trace(config, seed).workload;
+}
+
+SynthTrace synth_trace(const SynthConfig& config, std::uint64_t seed) {
+  if (config.n_jobs == 0) {
+    throw std::invalid_argument("synth_workload: n_jobs == 0");
+  }
+  if (config.n_sites == 0) {
+    throw std::invalid_argument("synth_workload: n_sites == 0");
+  }
+  if (config.site_node_pattern.empty()) {
+    throw std::invalid_argument("synth_workload: empty site_node_pattern");
+  }
+  if (config.size_weights.empty() ||
+      std::accumulate(config.size_weights.begin(), config.size_weights.end(),
+                      0.0) <= 0.0) {
+    throw std::invalid_argument("synth_workload: bad size_weights");
+  }
+
+  SynthTrace trace;
+
+  // 1. ETC matrix in the requested class, projected onto work/speed.
+  util::Rng etc_rng = util::Rng::child(seed, kEtcStream);
+  trace.etc = generate_etc(config.n_jobs, config.n_sites, config.etc, etc_rng);
+  trace.fit = fit_work_speed(trace.etc);
+
+  // Calibrate: mean exec on a geometric-mean-speed site (speed 1 by the
+  // fit's gauge) becomes `mean_exec_seconds`. The ETC cells are scaled by
+  // the same factor so the exposed trace stays self-consistent
+  // (etc ~ work / speed with an unchanged log residual).
+  if (config.mean_exec_seconds > 0.0) {
+    const double mean_work =
+        std::accumulate(trace.fit.work.begin(), trace.fit.work.end(), 0.0) /
+        static_cast<double>(trace.fit.work.size());
+    const double scale = config.mean_exec_seconds / mean_work;
+    for (double& w : trace.fit.work) w *= scale;
+    for (double& cell : trace.etc.cells) cell *= scale;
+  }
+
+  // 2. Sites: node pattern + fitted speeds + trust levels.
+  Workload& workload = trace.workload;
+  workload.name = config.name;
+  workload.sites = build_sites(config, trace.fit.speed);
+  const unsigned max_site_nodes =
+      std::max_element(workload.sites.begin(), workload.sites.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.nodes < b.nodes;
+                       })
+          ->nodes;
+  util::Rng security_rng = util::Rng::child(seed, kSecurityStream);
+  assign_trust(workload.sites, config.security, max_site_nodes, security_rng);
+
+  // 3. Jobs: fitted work, arrival process, node requests, demands.
+  util::Rng arrival_rng = util::Rng::child(seed, kArrivalStream);
+  const std::vector<sim::Time> arrivals =
+      arrival_times(config.n_jobs, config.arrival, arrival_rng);
+
+  util::Rng size_rng = util::Rng::child(seed, kSizeStream);
+  util::Rng demand_rng = util::Rng::child(seed, kDemandStream);
+  workload.jobs.resize(config.n_jobs);
+  for (std::size_t j = 0; j < config.n_jobs; ++j) {
+    sim::Job& job = workload.jobs[j];
+    job.id = static_cast<sim::JobId>(j);
+    job.arrival = arrivals[j];
+    job.work = trace.fit.work[j];
+    job.nodes = draw_nodes(config, max_site_nodes, size_rng);
+    job.demand = draw_demand(config.security, demand_rng);
+  }
+  return trace;
+}
+
+}  // namespace gridsched::workload::synth

@@ -1,0 +1,360 @@
+// Synthetic workload subsystem: determinism of (config, seed), the
+// consistency-class invariants of generated ETC matrices, arrival-process
+// properties, the rank-1 fit, and the scenario-registry round-trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/scenario_registry.hpp"
+#include "workload/synth/arrival.hpp"
+#include "workload/synth/etc_gen.hpp"
+#include "workload/synth/synth.hpp"
+#include "workload/trace_io.hpp"
+
+namespace gridsched::workload::synth {
+namespace {
+
+EtcConfig etc_config(EtcConsistency consistency, Heterogeneity task,
+                     Heterogeneity machine) {
+  EtcConfig config;
+  config.consistency = consistency;
+  config.task_heterogeneity = task;
+  config.machine_heterogeneity = machine;
+  return config;
+}
+
+SynthConfig small_config() {
+  SynthConfig config;
+  config.n_jobs = 200;
+  config.n_sites = 8;
+  config.site_node_pattern = {8, 2, 4};
+  config.size_weights = {0.5, 0.3, 0.2};
+  return config;
+}
+
+// ----------------------------------------------------------- determinism ---
+
+TEST(SynthWorkload, SameConfigAndSeedIsByteIdentical) {
+  const SynthConfig config = small_config();
+  const Workload a = synth_workload(config, 99);
+  const Workload b = synth_workload(config, 99);
+
+  // Byte-level check through the canonical trace serialisation.
+  std::ostringstream jobs_a, jobs_b, sites_a, sites_b;
+  write_jobs(jobs_a, a.jobs);
+  write_jobs(jobs_b, b.jobs);
+  write_sites(sites_a, a.sites);
+  write_sites(sites_b, b.sites);
+  EXPECT_EQ(jobs_a.str(), jobs_b.str());
+  EXPECT_EQ(sites_a.str(), sites_b.str());
+
+  // And exact equality on the raw fields (trace formatting could round).
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].arrival, b.jobs[j].arrival);
+    EXPECT_EQ(a.jobs[j].work, b.jobs[j].work);
+    EXPECT_EQ(a.jobs[j].nodes, b.jobs[j].nodes);
+    EXPECT_EQ(a.jobs[j].demand, b.jobs[j].demand);
+  }
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t s = 0; s < a.sites.size(); ++s) {
+    EXPECT_EQ(a.sites[s].nodes, b.sites[s].nodes);
+    EXPECT_EQ(a.sites[s].speed, b.sites[s].speed);
+    EXPECT_EQ(a.sites[s].security, b.sites[s].security);
+  }
+}
+
+TEST(SynthWorkload, DifferentSeedsDiverge) {
+  const SynthConfig config = small_config();
+  const Workload a = synth_workload(config, 1);
+  const Workload b = synth_workload(config, 2);
+  bool any_diff = false;
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    if (a.jobs[j].work != b.jobs[j].work) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthWorkload, JobsAreSortedAndWellFormed) {
+  const Workload workload = synth_workload(small_config(), 5);
+  ASSERT_EQ(workload.jobs.size(), 200u);
+  double previous = 0.0;
+  for (const sim::Job& job : workload.jobs) {
+    EXPECT_GE(job.arrival, previous);
+    previous = job.arrival;
+    EXPECT_GT(job.work, 0.0);
+    EXPECT_GE(job.nodes, 1u);
+    EXPECT_LE(job.nodes, 8u);  // capped at the largest site
+    EXPECT_GE(job.demand, 0.6);
+    EXPECT_LE(job.demand, 0.9);
+  }
+  // Fail-stop safety: some site fits the largest job securely.
+  const auto safe = std::any_of(
+      workload.sites.begin(), workload.sites.end(), [](const auto& site) {
+        return site.nodes >= 8u && site.security >= 0.9;
+      });
+  EXPECT_TRUE(safe);
+}
+
+// ------------------------------------------------- ETC class invariants ---
+
+TEST(EtcGen, ConsistentMatrixIsColumnOrdered) {
+  util::Rng rng(7);
+  const EtcMatrixData etc =
+      generate_etc(60, 10, etc_config(EtcConsistency::kConsistent,
+                                      Heterogeneity::kHi, Heterogeneity::kHi),
+                   rng);
+  std::vector<std::size_t> all(etc.machines);
+  for (std::size_t m = 0; m < etc.machines; ++m) all[m] = m;
+  EXPECT_TRUE(columns_consistent(etc, all));
+  // Rows are ascending in column index (the shared machine ordering).
+  for (std::size_t t = 0; t < etc.tasks; ++t) {
+    for (std::size_t m = 1; m < etc.machines; ++m) {
+      EXPECT_LE(etc.at(t, m - 1), etc.at(t, m));
+    }
+  }
+}
+
+TEST(EtcGen, SemiConsistentMatrixOrdersEvenColumnsOnly) {
+  util::Rng rng(7);
+  const EtcMatrixData etc = generate_etc(
+      60, 10, etc_config(EtcConsistency::kSemiConsistent, Heterogeneity::kHi,
+                         Heterogeneity::kHi),
+      rng);
+  std::vector<std::size_t> even;
+  std::vector<std::size_t> all;
+  for (std::size_t m = 0; m < etc.machines; ++m) {
+    all.push_back(m);
+    if (m % 2 == 0) even.push_back(m);
+  }
+  EXPECT_TRUE(columns_consistent(etc, even));
+  // With 60 rows and unordered odd columns, full consistency is
+  // astronomically unlikely.
+  EXPECT_FALSE(columns_consistent(etc, all));
+}
+
+TEST(EtcGen, InconsistentMatrixHasNoColumnOrder) {
+  util::Rng rng(7);
+  const EtcMatrixData etc = generate_etc(
+      60, 10, etc_config(EtcConsistency::kInconsistent, Heterogeneity::kHi,
+                         Heterogeneity::kHi),
+      rng);
+  std::vector<std::size_t> all(etc.machines);
+  for (std::size_t m = 0; m < etc.machines; ++m) all[m] = m;
+  EXPECT_FALSE(columns_consistent(etc, all));
+}
+
+TEST(EtcGen, HiTaskHeterogeneitySpreadsRowMeans) {
+  util::Rng rng_hi(11);
+  util::Rng rng_lo(11);
+  const auto spread = [](const EtcMatrixData& etc) {
+    // Coefficient of variation of row means.
+    std::vector<double> means(etc.tasks, 0.0);
+    for (std::size_t t = 0; t < etc.tasks; ++t) {
+      for (std::size_t m = 0; m < etc.machines; ++m) {
+        means[t] += etc.at(t, m);
+      }
+      means[t] /= static_cast<double>(etc.machines);
+    }
+    double mean = 0.0;
+    for (const double x : means) mean += x;
+    mean /= static_cast<double>(means.size());
+    double var = 0.0;
+    for (const double x : means) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(means.size());
+    return std::sqrt(var) / mean;
+  };
+  const EtcMatrixData hi =
+      generate_etc(400, 8, etc_config(EtcConsistency::kInconsistent,
+                                      Heterogeneity::kHi, Heterogeneity::kLo),
+                   rng_hi);
+  const EtcMatrixData lo =
+      generate_etc(400, 8, etc_config(EtcConsistency::kInconsistent,
+                                      Heterogeneity::kLo, Heterogeneity::kLo),
+                   rng_lo);
+  EXPECT_GT(spread(hi), spread(lo));
+}
+
+TEST(EtcGen, RejectsDegenerateRequests) {
+  util::Rng rng(1);
+  EXPECT_THROW(generate_etc(0, 4, {}, rng), std::invalid_argument);
+  EXPECT_THROW(generate_etc(4, 0, {}, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------- rank-1 fit ---
+
+TEST(EtcGen, FitRecoversExactRankOneMatrix) {
+  EtcMatrixData etc;
+  etc.tasks = 3;
+  etc.machines = 2;
+  const double work[] = {100.0, 300.0, 50.0};
+  const double speed[] = {1.0, 4.0};
+  for (const double w : work) {
+    for (const double s : speed) etc.cells.push_back(w / s);
+  }
+  const WorkSpeedFit fit = fit_work_speed(etc);
+  EXPECT_NEAR(fit.log_rms_residual, 0.0, 1e-12);
+  // Speeds are recovered up to the gauge (geometric mean 1): ratio exact.
+  EXPECT_NEAR(fit.speed[1] / fit.speed[0], 4.0, 1e-9);
+  EXPECT_NEAR(fit.work[1] / fit.work[0], 3.0, 1e-9);
+}
+
+TEST(EtcGen, FitResidualGrowsWithInconsistency) {
+  util::Rng rng_c(3);
+  util::Rng rng_i(3);
+  const EtcMatrixData consistent =
+      generate_etc(200, 12, etc_config(EtcConsistency::kConsistent,
+                                       Heterogeneity::kHi, Heterogeneity::kHi),
+                   rng_c);
+  const EtcMatrixData inconsistent = generate_etc(
+      200, 12, etc_config(EtcConsistency::kInconsistent, Heterogeneity::kHi,
+                          Heterogeneity::kHi),
+      rng_i);
+  EXPECT_LT(fit_work_speed(consistent).log_rms_residual,
+            fit_work_speed(inconsistent).log_rms_residual);
+}
+
+// ------------------------------------------------------------- arrivals ---
+
+TEST(Arrivals, BatchWavesSplitEvenly) {
+  util::Rng rng(1);
+  ArrivalConfig config;
+  config.process = ArrivalProcess::kBatch;
+  config.batch_waves = 3;
+  config.wave_interval = 100.0;
+  const auto times = arrival_times(10, config, rng);
+  ASSERT_EQ(times.size(), 10u);
+  EXPECT_EQ(std::count(times.begin(), times.end(), 0.0), 4);
+  EXPECT_EQ(std::count(times.begin(), times.end(), 100.0), 3);
+  EXPECT_EQ(std::count(times.begin(), times.end(), 200.0), 3);
+}
+
+TEST(Arrivals, PoissonMeanInterarrivalMatchesRate) {
+  util::Rng rng(5);
+  ArrivalConfig config;
+  config.process = ArrivalProcess::kPoisson;
+  config.rate = 0.02;
+  const auto times = arrival_times(20000, config, rng);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_NEAR(times.back() / 20000.0, 50.0, 2.0);
+}
+
+TEST(Arrivals, BurstyIsSortedAndBurstier) {
+  util::Rng rng_b(9);
+  util::Rng rng_p(9);
+  ArrivalConfig bursty;
+  bursty.process = ArrivalProcess::kBurstyOnOff;
+  bursty.on_duration = 500.0;
+  bursty.off_duration = 2000.0;
+  bursty.burst_rate = 0.1;
+  const auto bursty_times = arrival_times(5000, bursty, rng_b);
+  EXPECT_TRUE(std::is_sorted(bursty_times.begin(), bursty_times.end()));
+
+  ArrivalConfig poisson;
+  poisson.process = ArrivalProcess::kPoisson;
+  poisson.rate = 0.1 * 500.0 / 2500.0;  // same long-run mean rate
+  const auto poisson_times = arrival_times(5000, poisson, rng_p);
+
+  // Burstiness: the squared coefficient of variation of interarrival gaps
+  // must clearly exceed the Poisson value of 1.
+  const auto cv2 = [](const std::vector<sim::Time>& times) {
+    double mean = 0.0;
+    const auto n = times.size() - 1;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      mean += times[i] - times[i - 1];
+    }
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      const double gap = times[i] - times[i - 1] - mean;
+      var += gap * gap;
+    }
+    return var / static_cast<double>(n) / (mean * mean);
+  };
+  EXPECT_GT(cv2(bursty_times), 2.0);
+  EXPECT_NEAR(cv2(poisson_times), 1.0, 0.25);
+}
+
+TEST(Arrivals, RejectsBadConfigs) {
+  util::Rng rng(1);
+  ArrivalConfig config;
+  config.process = ArrivalProcess::kPoisson;
+  config.rate = 0.0;
+  EXPECT_THROW(arrival_times(5, config, rng), std::invalid_argument);
+  config.process = ArrivalProcess::kBatch;
+  config.batch_waves = 0;
+  EXPECT_THROW(arrival_times(5, config, rng), std::invalid_argument);
+}
+
+// ----------------------------------------------------- security regimes ---
+
+TEST(SecurityProfile, RiskyRegimeUnderSecuresMostJobs) {
+  SynthConfig config = small_config();
+  config.security = SecurityProfile::risky();
+  const Workload risky = synth_workload(config, 17);
+  config.security = SecurityProfile::secure();
+  const Workload secure = synth_workload(config, 17);
+
+  const auto safe_pairs = [](const Workload& workload) {
+    std::size_t safe = 0, total = 0;
+    for (const sim::Job& job : workload.jobs) {
+      for (const sim::SiteConfig& site : workload.sites) {
+        ++total;
+        if (job.demand <= site.security) ++safe;
+      }
+    }
+    return static_cast<double>(safe) / static_cast<double>(total);
+  };
+  EXPECT_LT(safe_pairs(risky), 0.5);
+  EXPECT_GT(safe_pairs(secure), 0.8);
+}
+
+// ----------------------------------------------------- scenario registry ---
+
+TEST(ScenarioRegistry, EveryNameMaterialises) {
+  const auto names = exp::scenario_names();
+  EXPECT_GE(names.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    const exp::Scenario scenario = exp::make_scenario(name, 64);
+    const Workload workload = exp::make_workload(scenario, 23);
+    EXPECT_EQ(workload.jobs.size(), 64u);
+    EXPECT_FALSE(workload.sites.empty());
+    EXPECT_FALSE(exp::scenario_description(name).empty());
+  }
+}
+
+TEST(ScenarioRegistry, ContainsPaperAndSynthFamilies) {
+  const auto names = exp::scenario_names();
+  for (const char* required :
+       {"nas", "psa", "synth-consistent-hihi", "synth-inconsistent-hihi",
+        "synth-batch", "synth-bursty", "synth-secure", "synth-risky"}) {
+    EXPECT_TRUE(std::find(names.begin(), names.end(), required) != names.end())
+        << required;
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsInvalidArgument) {
+  EXPECT_THROW(exp::make_scenario("no-such-scenario"), std::invalid_argument);
+  EXPECT_THROW(exp::scenario_description("no-such-scenario"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, RegistryWorkloadsAreDeterministic) {
+  for (const std::string& name : exp::scenario_names()) {
+    SCOPED_TRACE(name);
+    const Workload a = exp::make_workload(exp::make_scenario(name, 64), 31);
+    const Workload b = exp::make_workload(exp::make_scenario(name, 64), 31);
+    std::ostringstream sa, sb;
+    write_jobs(sa, a.jobs);
+    write_jobs(sb, b.jobs);
+    EXPECT_EQ(sa.str(), sb.str());
+  }
+}
+
+}  // namespace
+}  // namespace gridsched::workload::synth
