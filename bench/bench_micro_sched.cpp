@@ -48,7 +48,8 @@ void BM_MinMin(benchmark::State& state) { heuristic_latency(state, "min-min"); }
 void BM_Sufferage(benchmark::State& state) { heuristic_latency(state, "sufferage"); }
 void BM_Mct(benchmark::State& state) { heuristic_latency(state, "mct"); }
 
-void ga_latency(benchmark::State& state, bool warm, std::size_t generations) {
+void ga_latency(benchmark::State& state, bool warm, std::size_t generations,
+                std::size_t n_sites = 12) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   core::StgaConfig config;
   config.ga.population = 200;
@@ -57,11 +58,11 @@ void ga_latency(benchmark::State& state, bool warm, std::size_t generations) {
   if (warm) {
     // Pre-warm the history table with similar batches.
     for (std::uint64_t round = 0; round < 4; ++round) {
-      auto context = make_batch(batch, 12, 42 + round);
+      auto context = make_batch(batch, n_sites, 42 + round);
       scheduler->schedule(context);
     }
   }
-  const auto context = make_batch(batch, 12, 42);
+  const auto context = make_batch(batch, n_sites, 42);
   for (auto _ : state) {
     auto copy = context;
     benchmark::DoNotOptimize(scheduler->schedule(copy));
@@ -72,7 +73,15 @@ void ga_latency(benchmark::State& state, bool warm, std::size_t generations) {
 void BM_StgaWarm100(benchmark::State& state) { ga_latency(state, true, 100); }
 void BM_StgaWarm50(benchmark::State& state) { ga_latency(state, true, 50); }
 void BM_ColdGa100(benchmark::State& state) { ga_latency(state, false, 100); }
+/// The ISSUE's per-batch target shape: full paper GA budget at 16 sites.
+void BM_GaBatch16Sites(benchmark::State& state) {
+  ga_latency(state, false, 100, 16);
+}
+void BM_StgaBatch16Sites(benchmark::State& state) {
+  ga_latency(state, true, 100, 16);
+}
 
+/// Validating public entry point (rides the thread-local scratch fast path).
 void BM_FitnessDecode(benchmark::State& state) {
   const auto context =
       make_batch(static_cast<std::size_t>(state.range(0)), 12, 7);
@@ -86,6 +95,36 @@ void BM_FitnessDecode(benchmark::State& state) {
   }
 }
 
+/// Retained seed-era decode: the baseline the fast path is measured against.
+void BM_FitnessDecodeReference(benchmark::State& state) {
+  const auto context =
+      make_batch(static_cast<std::size_t>(state.range(0)), 16, 7);
+  const core::GaProblem problem =
+      core::build_problem(context, security::RiskPolicy::risky());
+  util::Rng rng(1);
+  const core::Chromosome chromosome = core::random_chromosome(problem, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::decode_fitness_reference(problem, chromosome, {0.6, 1.0}));
+  }
+}
+
+/// Steady-state DecodeScratch decode: the engine's actual hot path.
+void BM_FitnessDecodeScratch(benchmark::State& state) {
+  const auto context =
+      make_batch(static_cast<std::size_t>(state.range(0)), 16, 7);
+  const core::GaProblem problem =
+      core::build_problem(context, security::RiskPolicy::risky());
+  util::Rng rng(1);
+  const core::Chromosome chromosome = core::random_chromosome(problem, rng);
+  core::DecodeScratch scratch;
+  scratch.bind(problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::decode_fitness(problem, chromosome, {0.6, 1.0}, scratch));
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_MinMin)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
@@ -94,5 +133,9 @@ BENCHMARK(BM_Mct)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 BENCHMARK(BM_StgaWarm100)->Unit(benchmark::kMillisecond)->Arg(16)->Arg(32);
 BENCHMARK(BM_StgaWarm50)->Unit(benchmark::kMillisecond)->Arg(16)->Arg(32);
 BENCHMARK(BM_ColdGa100)->Unit(benchmark::kMillisecond)->Arg(16)->Arg(32);
+BENCHMARK(BM_GaBatch16Sites)->Unit(benchmark::kMillisecond)->Arg(128)->Arg(512);
+BENCHMARK(BM_StgaBatch16Sites)->Unit(benchmark::kMillisecond)->Arg(128)->Arg(512);
 BENCHMARK(BM_FitnessDecode)->Arg(8)->Arg(32)->Arg(128);
+BENCHMARK(BM_FitnessDecodeReference)->Arg(64)->Arg(128)->Arg(512);
+BENCHMARK(BM_FitnessDecodeScratch)->Arg(64)->Arg(128)->Arg(512);
 BENCHMARK_MAIN();

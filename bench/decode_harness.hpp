@@ -1,0 +1,105 @@
+// Shared harness for the decode fast-path test and bench: a counting
+// replacement of the global allocation functions (so zero-allocation claims
+// are checked against all heap traffic) and a registry-scenario batch
+// builder. Include from exactly ONE translation unit per binary — the
+// operator new/delete definitions are binary-wide replacements, and a
+// second inclusion in the same binary is a duplicate-symbol link error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "exp/scenario_registry.hpp"
+#include "util/rng.hpp"
+
+// ----------------------------------------------------------------- alloc ---
+namespace gridsched::bench {
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+/// Heap allocations observed so far in this binary.
+inline std::uint64_t allocation_count() { return g_allocations.load(); }
+
+namespace detail {
+
+inline void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  ++g_allocations;
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded ? rounded : alignment)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace detail
+}  // namespace gridsched::bench
+
+void* operator new(std::size_t size) {
+  return gridsched::bench::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return gridsched::bench::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return gridsched::bench::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return gridsched::bench::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(alignment));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+// ---------------------------------------------------------------------------
+
+namespace gridsched::bench {
+
+/// A scheduling round drawn from a registry scenario: the scenario's sites
+/// with some committed backlog, and its first `n_jobs` generated jobs.
+inline sim::SchedulerContext scenario_batch(const std::string& name,
+                                            std::size_t n_jobs,
+                                            std::uint64_t seed) {
+  const exp::Scenario scenario = exp::make_scenario(name, n_jobs);
+  const workload::Workload w = exp::make_workload(scenario, seed);
+  sim::SchedulerContext context;
+  context.now = 500.0;
+  util::Rng rng(seed ^ 0x5eed5eedULL);
+  for (const sim::SiteConfig& site : w.sites) {
+    context.sites.push_back(site);
+    sim::NodeAvailability avail(site.nodes, 0.0);
+    avail.reserve(1 + static_cast<unsigned>(rng.index(site.nodes)),
+                  rng.uniform(0.0, 900.0), 0.0);
+    context.avail.push_back(avail);
+  }
+  for (const sim::Job& job : w.jobs) {
+    if (context.jobs.size() >= n_jobs) break;
+    sim::BatchJob batch_job;
+    batch_job.id = job.id;
+    batch_job.work = job.work;
+    batch_job.nodes = job.nodes;
+    batch_job.demand = job.demand;
+    batch_job.arrival = job.arrival;
+    context.jobs.push_back(batch_job);
+  }
+  return context;
+}
+
+}  // namespace gridsched::bench

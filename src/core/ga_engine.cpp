@@ -1,8 +1,11 @@
 #include "core/ga_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "core/operators.hpp"
 
@@ -10,22 +13,109 @@ namespace gridsched::core {
 
 namespace {
 
-void evaluate_all(const GaProblem& problem,
-                  const std::vector<Chromosome>& population,
-                  std::vector<double>& fitness, const GaParams& params,
-                  util::ThreadPool* pool) {
-  fitness.resize(population.size());
-  const std::size_t volume = population.size() * problem.n_jobs();
-  if (pool != nullptr && volume >= params.parallel_threshold) {
-    pool->parallel_for(population.size(), [&](std::size_t i) {
-      fitness[i] = decode_fitness(problem, population[i], params.fitness);
-    });
-  } else {
-    for (std::size_t i = 0; i < population.size(); ++i) {
-      fitness[i] = decode_fitness(problem, population[i], params.fitness);
+constexpr double kUnknownFitness = std::numeric_limits<double>::quiet_NaN();
+constexpr std::size_t kNoAlias = std::numeric_limits<std::size_t>::max();
+
+/// FNV-1a over the chromosome's genes (one 64-bit round per gene, not per
+/// byte: a quarter of the multiplies at identical dispersion for our
+/// small-integer site ids); keys the duplicate memo. Collisions are
+/// harmless — the memo verifies gene-by-gene equality before reusing.
+std::uint64_t chromosome_hash(const Chromosome& chromosome) noexcept {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const sim::SiteId gene : chromosome) {
+    hash ^= gene;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Memoized fitness evaluation for one evolve() run. Owns one DecodeScratch
+/// per thread-pool chunk so the ~population x generations decodes reuse the
+/// same buffers (zero steady-state allocations in the decode itself), and a
+/// hash table that lets duplicate chromosomes — elitism copies, crossover
+/// of converged parents — reuse an identical individual's score instead of
+/// decoding again. Fitness is a pure function of the chromosome, so
+/// memoization and parallel evaluation are both result-invariant.
+class FitnessEvaluator {
+ public:
+  FitnessEvaluator(const GaProblem& problem, const GaParams& params,
+                   util::ThreadPool* pool)
+      : problem_(problem), params_(params), pool_(pool),
+        scratches_(pool != nullptr ? pool->size() : 1) {
+    // Rank/cell tables are built once and shared; per-chunk scratches only
+    // size their own mutable buffers.
+    scratches_.front().bind(problem);
+    for (std::size_t i = 1; i < scratches_.size(); ++i) {
+      scratches_[i].bind_from(scratches_.front());
     }
   }
-}
+
+  /// Fill every NaN entry of `fitness` (parallel to `population`). Known
+  /// entries — elites whose fitness was carried across the generation —
+  /// are kept as-is and serve as memo sources for their duplicates.
+  void evaluate(const std::vector<Chromosome>& population,
+                std::vector<double>& fitness, GaResult& stats) {
+    const std::size_t n = population.size();
+    alias_.assign(n, kNoAlias);
+    to_eval_.clear();
+    buckets_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& bucket = buckets_[chromosome_hash(population[i])];
+      std::size_t representative = kNoAlias;
+      for (const std::size_t j : bucket) {
+        if (population[j] == population[i]) {
+          representative = j;
+          break;
+        }
+      }
+      if (!std::isnan(fitness[i])) {  // carried elite: already scored
+        if (representative == kNoAlias) bucket.push_back(i);
+        continue;
+      }
+      if (representative != kNoAlias) {
+        alias_[i] = representative;
+        ++stats.memo_hits;
+      } else {
+        to_eval_.push_back(i);
+        bucket.push_back(i);
+      }
+    }
+    stats.evaluations += to_eval_.size();
+
+    const std::size_t volume = to_eval_.size() * problem_.n_jobs();
+    if (pool_ != nullptr && volume >= params_.parallel_threshold) {
+      pool_->parallel_for_chunks(
+          to_eval_.size(),
+          [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+            DecodeScratch& scratch = scratches_[chunk];
+            for (std::size_t k = begin; k < end; ++k) {
+              const std::size_t i = to_eval_[k];
+              fitness[i] =
+                  decode_fitness(problem_, population[i], params_.fitness, scratch);
+            }
+          },
+          scratches_.size());
+    } else {
+      for (const std::size_t i : to_eval_) {
+        fitness[i] =
+            decode_fitness(problem_, population[i], params_.fitness, scratches_[0]);
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (alias_[i] != kNoAlias) fitness[i] = fitness[alias_[i]];
+    }
+  }
+
+ private:
+  const GaProblem& problem_;
+  const GaParams& params_;
+  util::ThreadPool* pool_;
+  std::vector<DecodeScratch> scratches_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets_;
+  std::vector<std::size_t> alias_;   ///< duplicate -> representative index
+  std::vector<std::size_t> to_eval_; ///< unique chromosomes needing a decode
+};
 
 }  // namespace
 
@@ -40,6 +130,8 @@ GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
   }
 
   std::vector<Chromosome> population = std::move(initial);
+  // The only feasibility gate: operators preserve domain membership and
+  // length, so the decode fast path below runs unvalidated and noexcept.
   for (Chromosome& chromosome : population) {
     if (chromosome.size() != problem.n_jobs() ||
         !is_feasible(problem, chromosome)) {
@@ -53,10 +145,11 @@ GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
     population.push_back(random_chromosome(problem, rng));
   }
 
-  std::vector<double> fitness;
-  evaluate_all(problem, population, fitness, params, pool);
-
   GaResult result;
+  FitnessEvaluator evaluator(problem, params, pool);
+  std::vector<double> fitness(population.size(), kUnknownFitness);
+  evaluator.evaluate(population, fitness, result);
+
   result.best_per_generation.reserve(params.generations + 1);
   auto record_best = [&] {
     const std::size_t arg = static_cast<std::size_t>(
@@ -69,37 +162,60 @@ GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
   };
   record_best();
 
-  std::vector<Chromosome> next;
-  next.reserve(params.population);
+  // Generation buffers ping-pong with the population and chromosomes are
+  // copy-assigned in place, so steady-state generations reuse every gene
+  // buffer instead of allocating ~population vectors per generation. The
+  // RNG draw order matches the push_back formulation exactly (both parents
+  // are always drawn and both children mutated, even when the second child
+  // is discarded on an odd population boundary).
+  RouletteWheel wheel;
+  std::vector<Chromosome> next(params.population);
+  std::vector<double> next_fitness(params.population);
+  std::vector<std::size_t> elite_order(population.size());
+  Chromosome spare;
   for (std::size_t gen = 0; gen < params.generations; ++gen) {
-    next.clear();
+    std::size_t filled = 0;
 
-    // Elitism: carry the best individuals over unchanged.
+    // Elitism: carry the best individuals over unchanged, fitness included,
+    // so they are never re-decoded.
     const std::size_t elites = std::min(params.elite_count, population.size());
     if (elites > 0) {
-      std::vector<std::size_t> order(population.size());
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(elites),
-                        order.end(), [&](std::size_t a, std::size_t b) {
+      std::iota(elite_order.begin(), elite_order.end(), std::size_t{0});
+      std::partial_sort(elite_order.begin(),
+                        elite_order.begin() + static_cast<std::ptrdiff_t>(elites),
+                        elite_order.end(), [&](std::size_t a, std::size_t b) {
                           return fitness[a] < fitness[b];
                         });
-      for (std::size_t e = 0; e < elites; ++e) next.push_back(population[order[e]]);
+      for (std::size_t e = 0; e < elites; ++e) {
+        next[filled] = population[elite_order[e]];
+        next_fitness[filled] = fitness[elite_order[e]];
+        ++filled;
+      }
     }
 
-    while (next.size() < params.population) {
-      Chromosome child_a = population[roulette_select(fitness, rng)];
-      Chromosome child_b = population[roulette_select(fitness, rng)];
+    wheel.rebuild(fitness);
+    while (filled < params.population) {
+      Chromosome& child_a = next[filled];
+      Chromosome& child_b =
+          filled + 1 < params.population ? next[filled + 1] : spare;
+      child_a = population[wheel.select(rng)];
+      child_b = population[wheel.select(rng)];
       if (rng.bernoulli(params.crossover_prob)) {
         crossover_one_point(child_a, child_b, rng);
       }
       mutate(child_a, problem, params.mutation_prob, rng);
       mutate(child_b, problem, params.mutation_prob, rng);
-      next.push_back(std::move(child_a));
-      if (next.size() < params.population) next.push_back(std::move(child_b));
+      next_fitness[filled] = kUnknownFitness;
+      ++filled;
+      if (filled < params.population) {
+        next_fitness[filled] = kUnknownFitness;
+        ++filled;
+      }
     }
 
     population.swap(next);
-    evaluate_all(problem, population, fitness, params, pool);
+    fitness.swap(next_fitness);
+    evaluator.evaluate(population, fitness, result);
     record_best();
   }
   return result;

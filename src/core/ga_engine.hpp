@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/ga_problem.hpp"
@@ -20,8 +21,10 @@ struct GaParams {
   std::size_t elite_count = 2;    ///< elitism (paper Section 3)
   /// Objective shaping (expected completion + flowtime; see decode_fitness).
   FitnessParams fitness;
-  /// Evaluate fitness on the thread pool when population * batch size
-  /// exceeds this (parallelism never changes results: evaluation is pure).
+  /// Evaluate fitness on the thread pool when the number of chromosomes
+  /// actually needing a decode (after elite carry-over and duplicate
+  /// memoization) times the batch size exceeds this (parallelism never
+  /// changes results: evaluation is pure).
   std::size_t parallel_threshold = 1 << 14;
 };
 
@@ -31,6 +34,14 @@ struct GaResult {
   /// Best fitness seen up to and including each generation (length =
   /// generations + 1, entry 0 = initial population). Drives Fig. 7(b).
   std::vector<double> best_per_generation;
+  /// Chromosomes actually decoded. Without memoization this would be
+  /// population * (generations + 1); elites carry their fitness across
+  /// generations and duplicate children reuse an identical chromosome's
+  /// score, so evaluations + memo_hits <= population * (generations + 1).
+  std::uint64_t evaluations = 0;
+  /// Fitness lookups served without a decode (elite carry-over is not
+  /// counted here: carried elites are simply never re-enqueued).
+  std::uint64_t memo_hits = 0;
 };
 
 /// Run the GA. `initial` chromosomes seed the population (truncated or

@@ -1,6 +1,8 @@
 #include "core/ga_problem.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -11,12 +13,20 @@ namespace gridsched::core {
 
 GaProblem build_problem(const sim::SchedulerContext& context,
                         const security::RiskPolicy& policy) {
+  static std::atomic<std::uint64_t> next_epoch{1};
   GaProblem problem;
+  problem.epoch = next_epoch.fetch_add(1, std::memory_order_relaxed);
   problem.now = context.now;
   problem.sites = context.sites;
   problem.avail = context.avail;
 
   for (std::size_t j = 0; j < context.jobs.size(); ++j) {
+    if (context.jobs[j].nodes == 0) {
+      // A 0-node reservation has always been rejected (previously deep in
+      // NodeAvailability::earliest_start); fail fast before the unvalidated
+      // decode hot path can see it.
+      throw std::invalid_argument("build_problem: job needs >= 1 node");
+    }
     std::vector<sim::SiteId> domain =
         sched::admissible_sites(context.jobs[j], context.sites, policy);
     if (domain.empty()) continue;  // stays pending this round
@@ -42,60 +52,264 @@ GaProblem build_problem(const sim::SchedulerContext& context,
   return problem;
 }
 
-std::vector<std::size_t> decode_order(const GaProblem& problem,
-                                      const Chromosome& chromosome) {
-  std::vector<std::size_t> order(chromosome.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return problem.exec_at(a, chromosome[a]) <
-                            problem.exec_at(b, chromosome[b]);
-                   });
-  return order;
+void DecodeScratch::bind(const GaProblem& problem) {
+  if (binding_ != nullptr && problem.epoch != 0 &&
+      problem.epoch == binding_->epoch) {
+    return;  // already bound to this exact (immutable) problem
+  }
+  auto binding = std::make_shared<ProblemBinding>();
+  binding->epoch = problem.epoch;
+  binding->n_jobs = problem.n_jobs();
+  binding->nodes.resize(binding->n_jobs);
+  for (std::size_t j = 0; j < binding->n_jobs; ++j) {
+    binding->nodes[j] = problem.jobs[j].nodes;
+  }
+
+  // Rank the exec matrix once per problem: dense integers whose unsigned
+  // order is exactly the doubles' order (equal execs share a rank, and
+  // there is no NaN: exec is work/speed or infinity). Each decode then
+  // sorts narrow integer keys instead of 64-bit double mappings.
+  std::vector<double> distinct = problem.exec;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  binding->cells.resize(problem.exec.size());
+  for (std::size_t i = 0; i < problem.exec.size(); ++i) {
+    binding->cells[i] = {problem.exec[i], problem.pfail[i],
+                         static_cast<std::uint32_t>(
+                             std::lower_bound(distinct.begin(),
+                                              distinct.end(),
+                                              problem.exec[i]) -
+                             distinct.begin())};
+  }
+  const std::size_t max_rank = distinct.empty() ? 0 : distinct.size() - 1;
+  binding->rank_bytes = 1;
+  while (binding->rank_bytes < 4 &&
+         (max_rank >> (8 * binding->rank_bytes)) != 0) {
+    ++binding->rank_bytes;
+  }
+
+  binding->offset.resize(problem.n_sites() + 1);
+  binding->offset[0] = 0;
+  for (std::size_t s = 0; s < problem.n_sites(); ++s) {
+    binding->offset[s + 1] =
+        binding->offset[s] + problem.avail[s].free_times().size();
+  }
+  binding->pristine.resize(binding->offset.back());
+  std::size_t cursor = 0;
+  for (const auto& profile : problem.avail) {
+    for (const sim::Time t : profile.free_times()) {
+      binding->pristine[cursor++] = t;
+    }
+  }
+  binding_ = std::move(binding);
+  working_.resize(binding_->pristine.size());
+  sort_a_.reserve(binding_->n_jobs);
+  sort_b_.reserve(binding_->n_jobs);
+  order_.reserve(binding_->n_jobs);
+  exec_gather_.reserve(binding_->n_jobs);
+  pfail_gather_.reserve(binding_->n_jobs);
+}
+
+void DecodeScratch::bind_from(const DecodeScratch& other) {
+  assert(other.binding_ != nullptr && "bind_from: source scratch not bound");
+  if (binding_ == other.binding_) return;
+  binding_ = other.binding_;
+  working_.resize(binding_->pristine.size());
+  sort_a_.reserve(binding_->n_jobs);
+  sort_b_.reserve(binding_->n_jobs);
+  order_.reserve(binding_->n_jobs);
+  exec_gather_.reserve(binding_->n_jobs);
+  pfail_gather_.reserve(binding_->n_jobs);
+}
+
+std::span<const DecodeScratch::SortedGene> DecodeScratch::prepare(
+    const GaProblem& problem, const Chromosome& chromosome) noexcept {
+  assert(binding_ != nullptr && chromosome.size() == binding_->n_jobs &&
+         "DecodeScratch::prepare: bind() the problem first");
+  std::copy(binding_->pristine.begin(), binding_->pristine.end(),
+            working_.begin());
+  const std::size_t n = chromosome.size();
+  sort_a_.resize(n);
+  exec_gather_.resize(n);
+  pfail_gather_.resize(n);
+  // Single sequential pass: the per-row cell reads prefetch well here, and
+  // the decode loop below then only touches these dense gathers.
+  const std::size_t n_sites = problem.n_sites();
+  const Cell* cells = binding_->cells.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    const Cell& cell = cells[j * n_sites + chromosome[j]];
+    exec_gather_[j] = cell.exec;
+    pfail_gather_[j] = cell.pfail;
+    sort_a_[j] = (static_cast<std::uint64_t>(cell.rank) << 32) |
+                 static_cast<std::uint64_t>(j);
+  }
+  return sort_genes(n);
+}
+
+std::span<const DecodeScratch::SortedGene> DecodeScratch::sort_genes(
+    std::size_t n) noexcept {
+  // Packed (rank << 32 | index) integers order genes by exec with ties on
+  // the original position — exactly stable_sort's order. Below the
+  // threshold a plain u64 sort wins.
+  constexpr std::size_t kRadixThreshold = 64;
+  if (n < kRadixThreshold) {
+    std::sort(sort_a_.begin(), sort_a_.end());
+    return sort_a_;
+  }
+  // Stable LSD radix over the rank bytes only (bytes 4..4+rank_bytes of
+  // the packed key; the index bytes need no passes — stability plus the
+  // ascending initial order already gives the tie order). Trivial digits
+  // (all keys share the byte) are skipped.
+  const unsigned rank_bytes = binding_->rank_bytes;
+  sort_b_.resize(n);
+  std::memset(hist_, 0, rank_bytes * sizeof(hist_[0]));
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = sort_a_[i];
+    for (unsigned d = 0; d < rank_bytes; ++d) {
+      ++hist_[d][(key >> (32 + 8 * d)) & 0xffU];
+    }
+  }
+  SortedGene* cur = sort_a_.data();
+  SortedGene* nxt = sort_b_.data();
+  for (unsigned d = 0; d < rank_bytes; ++d) {
+    std::uint32_t* counts = hist_[d];
+    bool trivial = false;
+    for (unsigned b = 0; b < 256; ++b) {
+      if (counts[b] == n) {
+        trivial = true;
+        break;
+      }
+      if (counts[b] != 0) break;  // first non-empty bucket decides
+    }
+    if (trivial) continue;
+    std::uint32_t running = 0;
+    for (unsigned b = 0; b < 256; ++b) {
+      const std::uint32_t count = counts[b];
+      counts[b] = running;
+      running += count;
+    }
+    const unsigned shift = 32 + 8 * d;
+    for (std::size_t i = 0; i < n; ++i) {
+      const SortedGene gene = cur[i];
+      nxt[counts[(gene >> shift) & 0xffU]++] = gene;
+    }
+    std::swap(cur, nxt);
+  }
+  return {cur, n};
+}
+
+sim::NodeAvailability::Window DecodeScratch::reserve(sim::SiteId s, unsigned k,
+                                                     double exec,
+                                                     sim::Time now) noexcept {
+  sim::Time* free_times = working_.data() + binding_->offset[s];
+  const std::size_t n = binding_->offset[s + 1] - binding_->offset[s];
+  assert(k >= 1 && k <= n && "DecodeScratch::reserve: bad node count");
+  const sim::Time start = std::max(now, free_times[k - 1]);
+  const sim::Time end = start + exec;
+  // The k earliest-free nodes become free at `end`. Restore sorted order
+  // without inplace_merge (which heap-allocates a temporary buffer on
+  // every call): entries in [k, p) are < end and slide down; the k
+  // reserved nodes — all equal to `end` — land just before p. The linear
+  // scan beats a binary search on these <= O(site nodes) profiles.
+  std::size_t p = k;
+  while (p < n && free_times[p] < end) ++p;
+  std::memmove(free_times, free_times + k, (p - k) * sizeof(sim::Time));
+  for (std::size_t i = p - k; i < p; ++i) free_times[i] = end;
+  return {start, end};
 }
 
 namespace {
 
-/// Shared decode: reserve shortest-first, feed each job's expected
-/// completion to `consume(job_index, expected_completion)`.
-template <typename Consume>
-void decode(const GaProblem& problem, const Chromosome& chromosome,
-            double risk_penalty, Consume&& consume) {
+/// One scratch per thread for the validating public entry points, so they
+/// ride the same allocation-free path as the engine. Deliberate trade-off:
+/// each thread that decodes retains the last problem's binding (a few
+/// hundred KB at 512 jobs x 16 sites) until it decodes another problem or
+/// exits — the price of making repeated one-off calls rebind-free.
+DecodeScratch& thread_scratch() {
+  thread_local DecodeScratch scratch;
+  return scratch;
+}
+
+/// Validation for the public (non-scratch) decode entry points. The GA
+/// engine validates seeds once in evolve and skips this per evaluation.
+/// Node fit is checked against the availability profiles because those are
+/// what the arena decode actually indexes (hand-built problems may disagree
+/// with sites[s].nodes).
+void validate_decode_args(const GaProblem& problem,
+                          const Chromosome& chromosome) {
   if (chromosome.size() != problem.n_jobs()) {
     throw std::invalid_argument("decode: chromosome length mismatch");
   }
-  std::vector<sim::NodeAvailability> avail = problem.avail;
-  for (const std::size_t j : decode_order(problem, chromosome)) {
+  if (problem.avail.size() != problem.n_sites()) {
+    throw std::invalid_argument("decode: avail/sites size mismatch");
+  }
+  for (std::size_t j = 0; j < chromosome.size(); ++j) {
     const sim::SiteId s = chromosome[j];
-    const double exec = problem.exec_at(j, s);
-    const auto window =
-        avail[s].reserve(problem.jobs[j].nodes, exec, problem.now);
-    consume(j, window.end + risk_penalty * problem.pfail_at(j, s) * exec);
+    if (s >= problem.n_sites() || problem.jobs[j].nodes == 0 ||
+        problem.jobs[j].nodes > problem.avail[s].free_times().size()) {
+      throw std::invalid_argument("decode: gene assigns an unusable site");
+    }
   }
 }
 
 }  // namespace
 
 double decode_fitness(const GaProblem& problem, const Chromosome& chromosome,
-                      const FitnessParams& params) {
+                      const FitnessParams& params, DecodeScratch& scratch) noexcept {
   double worst = problem.now;
   double sum = 0.0;
-  decode(problem, chromosome, params.risk_penalty_weight,
-         [&](std::size_t, double expected) {
-           worst = std::max(worst, expected);
-           sum += expected - problem.now;
-         });
+  decode_into(scratch, problem, chromosome, params.risk_penalty_weight,
+              [&](std::size_t, double expected) {
+                worst = std::max(worst, expected);
+                sum += expected - problem.now;
+              });
   const double mean =
       chromosome.empty() ? 0.0 : sum / static_cast<double>(chromosome.size());
   return worst + params.flowtime_weight * mean;
 }
 
-double batch_makespan(const GaProblem& problem, const Chromosome& chromosome) {
+double decode_fitness(const GaProblem& problem, const Chromosome& chromosome,
+                      const FitnessParams& params) {
+  validate_decode_args(problem, chromosome);
+  DecodeScratch& scratch = thread_scratch();
+  scratch.bind(problem);
+  return decode_fitness(problem, chromosome, params, scratch);
+}
+
+double batch_makespan(const GaProblem& problem, const Chromosome& chromosome,
+                      DecodeScratch& scratch) noexcept {
   double makespan = problem.now;
-  decode(problem, chromosome, 0.0, [&](std::size_t, double completion) {
-    makespan = std::max(makespan, completion);
-  });
+  decode_into(scratch, problem, chromosome, 0.0,
+              [&](std::size_t, double completion) {
+                makespan = std::max(makespan, completion);
+              });
   return makespan;
+}
+
+double batch_makespan(const GaProblem& problem, const Chromosome& chromosome) {
+  validate_decode_args(problem, chromosome);
+  DecodeScratch& scratch = thread_scratch();
+  scratch.bind(problem);
+  return batch_makespan(problem, chromosome, scratch);
+}
+
+std::span<const std::size_t> decode_order_into(
+    DecodeScratch& scratch, const GaProblem& problem,
+    const Chromosome& chromosome) noexcept {
+  const auto sorted = scratch.prepare(problem, chromosome);
+  scratch.order_.resize(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    scratch.order_[i] = DecodeScratch::gene_index(sorted[i]);
+  }
+  return scratch.order_;
+}
+
+std::vector<std::size_t> decode_order(const GaProblem& problem,
+                                      const Chromosome& chromosome) {
+  // One definition of the golden order: the retained reference (which the
+  // scratch path is tested against bit for bit).
+  return decode_order_reference(problem, chromosome);
 }
 
 bool is_feasible(const GaProblem& problem, const Chromosome& chromosome) {

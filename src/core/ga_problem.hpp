@@ -4,7 +4,11 @@
 // Fig. 4: an array with one site gene per batch job.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "security/security.hpp"
@@ -26,16 +30,162 @@ struct GaProblem {
   std::vector<double> exec;
   /// Flattened jobs x sites Eq. 1 failure probabilities.
   std::vector<double> pfail;
+  /// Identity stamp: build_problem assigns a process-unique non-zero value,
+  /// letting DecodeScratch::bind skip rebinding when called again with the
+  /// same problem. Built problems must be treated as immutable for the
+  /// stamp to stay truthful; hand-assembled problems keep 0 (= always
+  /// rebind fully). Copies drop the stamp — a copy is a distinct object the
+  /// caller may mutate, so it must never alias a cached binding.
+  std::uint64_t epoch = 0;
+
+  GaProblem() = default;
+  GaProblem(GaProblem&&) = default;
+  GaProblem& operator=(GaProblem&&) = default;
+  GaProblem(const GaProblem& other) { *this = other; }
+  GaProblem& operator=(const GaProblem& other) {
+    if (this != &other) {
+      now = other.now;
+      jobs = other.jobs;
+      batch_index = other.batch_index;
+      sites = other.sites;
+      avail = other.avail;
+      domains = other.domains;
+      exec = other.exec;
+      pfail = other.pfail;
+      epoch = 0;  // unstamped: see above
+    }
+    return *this;
+  }
 
   [[nodiscard]] std::size_t n_jobs() const noexcept { return jobs.size(); }
   [[nodiscard]] std::size_t n_sites() const noexcept { return sites.size(); }
-  [[nodiscard]] double exec_at(std::size_t j, std::size_t s) const {
+  [[nodiscard]] double exec_at(std::size_t j, std::size_t s) const noexcept {
     return exec[j * n_sites() + s];
   }
-  [[nodiscard]] double pfail_at(std::size_t j, std::size_t s) const {
+  [[nodiscard]] double pfail_at(std::size_t j, std::size_t s) const noexcept {
     return pfail[j * n_sites() + s];
   }
 };
+
+/// Reusable decode workspace: per-gene sort keys, a gather of the exec/
+/// pfail/node-count columns the decode loop touches (dense per-job arrays,
+/// so the loop never random-accesses the jobs x sites matrices), and a flat
+/// copy-on-decode availability arena (all sites' free times in one
+/// contiguous buffer with a pristine snapshot, so resetting to the
+/// committed profiles is an O(total nodes) copy instead of a
+/// vector-of-vectors deep copy).
+///
+/// Sorting exploits that the exec matrix is fixed per problem: bind() ranks
+/// the distinct exec values once (order-isomorphic dense integers, ties
+/// mapped to equal ranks), so each decode sorts small packed
+/// (rank << 32 | gene index) integers — a two-pass LSD radix for typical
+/// rank widths, std::sort below a size threshold. Both are stable in the
+/// gene index and therefore reproduce stable_sort's order exactly. After
+/// bind() the steady-state decode path performs zero heap allocations; the
+/// GA engine keeps one scratch per thread-pool chunk, so ~20k evaluations
+/// per batch reuse the same buffers.
+class DecodeScratch {
+ public:
+  /// Packed sort element: exec rank in the high 32 bits, gene index below.
+  using SortedGene = std::uint64_t;
+
+  [[nodiscard]] static constexpr std::uint32_t gene_index(
+      SortedGene packed) noexcept {
+    return static_cast<std::uint32_t>(packed);
+  }
+
+  /// Capture `problem`'s committed availability profiles, rank its exec
+  /// matrix, and size every buffer for its job/site counts. Binding again
+  /// with the same built problem (matching GaProblem::epoch) is a no-op.
+  void bind(const GaProblem& problem);
+
+  /// Share `other`'s problem binding (the immutable rank/cell/profile
+  /// tables) instead of rebuilding them — the engine binds one scratch per
+  /// evolve and fans the binding out to its per-chunk siblings.
+  void bind_from(const DecodeScratch& other);
+
+  /// Reset the arena to the bound profiles, gather the chromosome's exec/
+  /// pfail columns, and compute the shortest-execution-first decode order
+  /// (stable for ties, bit-identical to decode_order). The span is valid
+  /// until the next prepare()/bind(). Preconditions (enforced by evolve's
+  /// seed validation, not re-checked here): bind(problem) was called and
+  /// chromosome.size() == problem.n_jobs().
+  std::span<const SortedGene> prepare(const GaProblem& problem,
+                                      const Chromosome& chromosome) noexcept;
+
+  /// Gathered columns for gene j, valid after prepare().
+  [[nodiscard]] double exec_of(std::uint32_t j) const noexcept {
+    return exec_gather_[j];
+  }
+  [[nodiscard]] double pfail_of(std::uint32_t j) const noexcept {
+    return pfail_gather_[j];
+  }
+  [[nodiscard]] unsigned nodes_of(std::uint32_t j) const noexcept {
+    return binding_->nodes[j];
+  }
+
+  /// Arena equivalent of NodeAvailability::reserve on site `s`: occupy the
+  /// k earliest-free nodes for `exec` seconds starting no earlier than
+  /// `now`, keeping the profile sorted. Requires 1 <= k <= nodes(s).
+  sim::NodeAvailability::Window reserve(sim::SiteId s, unsigned k, double exec,
+                                        sim::Time now) noexcept;
+
+ private:
+  /// One jobs x sites entry with everything the gather pass reads,
+  /// interleaved so each gene costs one cache line instead of three.
+  struct Cell {
+    double exec = 0.0;
+    double pfail = 0.0;
+    std::uint32_t rank = 0;
+  };
+
+  /// Everything derived from the (immutable) problem, shared between the
+  /// engine's per-chunk scratches so the rank table is built once per
+  /// evolve, not once per thread.
+  struct ProblemBinding {
+    std::vector<Cell> cells;            ///< exec/pfail/rank, jobs x sites
+    std::vector<unsigned> nodes;        ///< jobs[j].nodes
+    std::vector<sim::Time> pristine;    ///< flattened committed free times
+    std::vector<std::size_t> offset;    ///< per-site start, n_sites + 1
+    std::size_t n_jobs = 0;
+    std::uint64_t epoch = 0;            ///< GaProblem::epoch (0 = unstamped)
+    unsigned rank_bytes = 1;            ///< radix passes the ranks need
+  };
+
+  std::span<const SortedGene> sort_genes(std::size_t n) noexcept;
+
+  std::shared_ptr<const ProblemBinding> binding_;
+  std::vector<SortedGene> sort_a_;        ///< sort input / radix ping
+  std::vector<SortedGene> sort_b_;        ///< radix pong
+  std::vector<std::size_t> order_;        ///< decode_order_into output
+  std::vector<double> exec_gather_;       ///< exec_at(j, chromosome[j])
+  std::vector<double> pfail_gather_;      ///< pfail_at(j, chromosome[j])
+  std::vector<sim::Time> working_;        ///< decode-mutable profile copy
+  std::uint32_t hist_[4][256];            ///< radix digit histograms
+
+  friend std::span<const std::size_t> decode_order_into(
+      DecodeScratch& scratch, const GaProblem& problem,
+      const Chromosome& chromosome) noexcept;
+};
+
+/// Decode `chromosome` with zero steady-state allocations: reserve
+/// shortest-first in the scratch arena and feed each job's expected
+/// completion to `consume(job_index, expected_completion)`. This is the hot
+/// primitive under decode_fitness/batch_makespan; the chromosome must be
+/// feasible (validated once by evolve, not per call).
+template <typename Consume>
+void decode_into(DecodeScratch& scratch, const GaProblem& problem,
+                 const Chromosome& chromosome, double risk_penalty,
+                 Consume&& consume) {
+  for (const DecodeScratch::SortedGene packed :
+       scratch.prepare(problem, chromosome)) {
+    const std::uint32_t j = DecodeScratch::gene_index(packed);
+    const double exec = scratch.exec_of(j);
+    const auto window = scratch.reserve(chromosome[j], scratch.nodes_of(j),
+                                        exec, problem.now);
+    consume(j, window.end + risk_penalty * scratch.pfail_of(j) * exec);
+  }
+}
 
 /// Build the GA subproblem from a scheduler context. Jobs whose admissible
 /// set under `policy` is empty are dropped (they stay pending in the
@@ -62,18 +212,51 @@ struct FitnessParams {
 /// GaScheduler realises). Each job's expected completion is
 ///   c_j + risk_penalty_weight * pfail_j * exec_j
 /// and the fitness is max_j(expected) + flowtime_weight * mean_j(expected
-/// - now). Genes must lie in the job's domain.
+/// - now). Genes must lie in the job's domain. Validates the chromosome and
+/// throws std::invalid_argument on length/site mismatches; the scratch
+/// overload below is the validated hot path.
 double decode_fitness(const GaProblem& problem, const Chromosome& chromosome,
                       const FitnessParams& params);
+
+/// Allocation-free fast path: identical value to the validating overload,
+/// bit for bit. `scratch` must be bound to `problem` and the chromosome
+/// must be feasible (evolve validates seeds once; operators preserve
+/// feasibility, so per-evaluation checks are unnecessary).
+double decode_fitness(const GaProblem& problem, const Chromosome& chromosome,
+                      const FitnessParams& params,
+                      DecodeScratch& scratch) noexcept;
 
 /// Pure realized batch makespan (absolute latest completion; no risk or
 /// flowtime shaping), with the same shortest-first decode order.
 double batch_makespan(const GaProblem& problem, const Chromosome& chromosome);
 
+/// Allocation-free fast path for batch_makespan (same contract as the
+/// decode_fitness scratch overload).
+double batch_makespan(const GaProblem& problem, const Chromosome& chromosome,
+                      DecodeScratch& scratch) noexcept;
+
 /// The shortest-execution-first order in which a chromosome's assignments
 /// are reserved/dispatched (stable for ties).
 std::vector<std::size_t> decode_order(const GaProblem& problem,
                                       const Chromosome& chromosome);
+
+/// Allocation-free decode_order: the returned span aliases the scratch and
+/// is valid until its next prepare()/bind(). Also resets the scratch arena.
+std::span<const std::size_t> decode_order_into(DecodeScratch& scratch,
+                                               const GaProblem& problem,
+                                               const Chromosome& chromosome) noexcept;
+
+/// Retained pre-fast-path implementations (fresh decode-order vector,
+/// comparator-driven stable_sort, deep-copied availability profiles).
+/// Golden references for tests and the bench_decode speedup baseline — the
+/// fast path must stay bit-identical to these.
+double decode_fitness_reference(const GaProblem& problem,
+                                const Chromosome& chromosome,
+                                const FitnessParams& params);
+double batch_makespan_reference(const GaProblem& problem,
+                                const Chromosome& chromosome);
+std::vector<std::size_t> decode_order_reference(const GaProblem& problem,
+                                                const Chromosome& chromosome);
 
 /// True iff every gene is a member of the corresponding job's domain.
 bool is_feasible(const GaProblem& problem, const Chromosome& chromosome);

@@ -1,6 +1,7 @@
 #include "core/ga_scheduler.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_map>
 
 #include "core/operators.hpp"
@@ -35,6 +36,25 @@ std::vector<Chromosome> GaScheduler::build_initial_population(
         repair(chromosome, problem, rng_);
         adapted.push_back(std::move(chromosome));
       }
+      // Rescore the adapted matches on *this* batch's problem (lookup
+      // ranked them by signature similarity, not by how well the schedule
+      // transfers) so the strongest seed fills the history share first and
+      // receives the extra mutated copies.
+      std::vector<std::size_t> rank(adapted.size());
+      std::iota(rank.begin(), rank.end(), std::size_t{0});
+      std::vector<double> score(adapted.size());
+      for (std::size_t i = 0; i < adapted.size(); ++i) {
+        score[i] = decode_fitness(problem, adapted[i], config_.ga.fitness,
+                                  scratch_);
+      }
+      std::stable_sort(rank.begin(), rank.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return score[a] < score[b];
+                       });
+      std::vector<Chromosome> ranked;
+      ranked.reserve(adapted.size());
+      for (const std::size_t i : rank) ranked.push_back(std::move(adapted[i]));
+      adapted.swap(ranked);
       for (std::size_t i = 0; initial.size() < target; ++i) {
         Chromosome copy = adapted[i % adapted.size()];
         if (i >= adapted.size()) {
@@ -85,6 +105,7 @@ std::vector<sim::Assignment> GaScheduler::schedule(
   GaProblem problem =
       build_problem(context, security::RiskPolicy::risky(config_.lambda));
   if (problem.n_jobs() == 0) return {};
+  scratch_.bind(problem);  // history rescoring + dispatch decode below
 
   const BatchSignature signature = make_signature(problem);
   std::vector<Chromosome> initial =
@@ -101,7 +122,7 @@ std::vector<sim::Assignment> GaScheduler::schedule(
   // the engine realises exactly the reservations the GA optimised.
   std::vector<sim::Assignment> assignments;
   assignments.reserve(problem.n_jobs());
-  for (const std::size_t j : decode_order(problem, result.best)) {
+  for (const std::size_t j : decode_order_into(scratch_, problem, result.best)) {
     assignments.push_back({problem.batch_index[j], result.best[j]});
   }
   return assignments;

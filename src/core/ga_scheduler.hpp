@@ -63,6 +63,9 @@ class GaScheduler : public sim::BatchScheduler {
   util::ThreadPool* pool_;
   HistoryTable table_;
   util::Rng rng_;
+  /// Reused across batches for history-match rescoring and the dispatch
+  /// decode order (bound to each batch's problem in schedule()).
+  DecodeScratch scratch_;
 };
 
 /// Convenience factories for the paper's two GA flavours.

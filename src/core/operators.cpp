@@ -14,22 +14,38 @@ Chromosome random_chromosome(const GaProblem& problem, util::Rng& rng) {
   return chromosome;
 }
 
-std::size_t roulette_select(std::span<const double> fitness, util::Rng& rng) {
+void RouletteWheel::rebuild(std::span<const double> fitness) {
   if (fitness.empty()) throw std::invalid_argument("roulette_select: empty");
+  n_ = fitness.size();
   const auto [min_it, max_it] = std::minmax_element(fitness.begin(), fitness.end());
   const double worst = *max_it;
   const double range = worst - *min_it;
-  if (range <= 0.0) return rng.index(fitness.size());  // all equal: uniform
+  uniform_ = range <= 0.0;  // all equal: uniform selection
+  if (uniform_) return;
   // Floor of 10% of the range keeps the worst individual selectable.
   const double floor = 0.1 * range;
+  prefix_.resize(n_);
   double total = 0.0;
-  for (const double f : fitness) total += (worst - f) + floor;
-  double ticket = rng.uniform() * total;
-  for (std::size_t i = 0; i < fitness.size(); ++i) {
-    ticket -= (worst - fitness[i]) + floor;
-    if (ticket <= 0.0) return i;
+  for (std::size_t i = 0; i < n_; ++i) {
+    total += (worst - fitness[i]) + floor;
+    prefix_[i] = total;
   }
-  return fitness.size() - 1;  // numeric edge
+}
+
+std::size_t RouletteWheel::select(util::Rng& rng) const noexcept {
+  if (uniform_) return rng.index(n_);
+  const double ticket = rng.uniform() * prefix_[n_ - 1];
+  const auto it = std::lower_bound(prefix_.begin(), prefix_.begin() +
+                                       static_cast<std::ptrdiff_t>(n_),
+                                   ticket);
+  const auto index = static_cast<std::size_t>(it - prefix_.begin());
+  return std::min(index, n_ - 1);  // numeric edge
+}
+
+std::size_t roulette_select(std::span<const double> fitness, util::Rng& rng) {
+  RouletteWheel wheel;
+  wheel.rebuild(fitness);
+  return wheel.select(rng);
 }
 
 void crossover_one_point(Chromosome& a, Chromosome& b, util::Rng& rng) {

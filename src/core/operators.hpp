@@ -14,9 +14,33 @@ namespace gridsched::core {
 /// Uniformly random feasible chromosome.
 Chromosome random_chromosome(const GaProblem& problem, util::Rng& rng);
 
-/// Roulette-wheel selection for a minimisation objective: each candidate's
-/// wheel share is (worst - fitness) plus a floor so the worst candidate
-/// keeps a small non-zero probability. Returns the selected index.
+/// Roulette wheel for a minimisation objective, built once per generation:
+/// each candidate's share is (worst - fitness) plus a 10% floor so the
+/// worst candidate keeps a small non-zero probability. rebuild() computes
+/// the prefix sums in O(n); select() is then an O(log n) binary search
+/// instead of the old per-call O(n) scan that recomputed worst/total for
+/// every draw. The wheel shares are identical to roulette_select's.
+class RouletteWheel {
+ public:
+  /// Recompute the wheel from a generation's fitness values. Throws
+  /// std::invalid_argument when `fitness` is empty. Allocation-free once
+  /// the prefix buffer has grown to the population size.
+  void rebuild(std::span<const double> fitness);
+
+  /// Draw one index (one rng.uniform() call, as before).
+  [[nodiscard]] std::size_t select(util::Rng& rng) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  std::vector<double> prefix_;  ///< cumulative wheel shares
+  std::size_t n_ = 0;
+  bool uniform_ = false;        ///< all fitness equal: uniform selection
+};
+
+/// One-shot roulette selection (rebuild + select). The GA engine keeps a
+/// RouletteWheel per generation instead; this remains for tests and
+/// call sites that select once.
 std::size_t roulette_select(std::span<const double> fitness, util::Rng& rng);
 
 /// Single-point crossover: swap the tails of a and b after a random cut in

@@ -41,6 +41,18 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t chunks) {
+  parallel_for_chunks(
+      n,
+      [&fn](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      chunks);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t chunks) {
   if (n == 0) return;
   if (chunks == 0) chunks = std::min(n, size() * 4);
   chunks = std::min(chunks, n);
@@ -53,8 +65,8 @@ void ThreadPool::parallel_for(std::size_t n,
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t len = base + (c < rem ? 1 : 0);
     const std::size_t end = begin + len;
-    futures.push_back(submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    futures.push_back(submit([&fn, begin, end, c] {
+      fn(begin, end, c);
     }));
     begin = end;
   }

@@ -49,6 +49,16 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t chunks = 0);
 
+  /// Chunk-aware parallel_for: fn(begin, end, chunk) runs once per
+  /// contiguous chunk, with chunk indices in [0, chunks). Lets callers pool
+  /// per-chunk workspaces (e.g. one core::DecodeScratch per chunk for GA
+  /// fitness evaluation) instead of allocating per item. `chunks` is capped
+  /// at n; 0 picks size() * 4 for load balancing.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+      std::size_t chunks = 0);
+
  private:
   void worker_loop();
 

@@ -82,6 +82,47 @@ TEST(RouletteSelect, MiddleCandidateGetsProportionalShare) {
   EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 11.0 / 6.0, 0.3);
 }
 
+TEST(RouletteWheel, RejectsEmpty) {
+  RouletteWheel wheel;
+  EXPECT_THROW(wheel.rebuild({}), std::invalid_argument);
+}
+
+TEST(RouletteWheel, UniformWhenAllEqual) {
+  util::Rng rng(12);
+  RouletteWheel wheel;
+  wheel.rebuild(std::vector<double>{3.0, 3.0, 3.0});
+  ASSERT_EQ(wheel.size(), 3u);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 6000; ++i) ++counts[wheel.select(rng)];
+  for (const auto& [index, count] : counts) {
+    EXPECT_NEAR(count, 2000, 250) << "index " << index;
+  }
+}
+
+TEST(RouletteWheel, SharesMatchTheRouletteSelectWheel) {
+  // Same 11:6:1 shares as roulette_select (10% floor on the range), now
+  // selected via prefix-sum binary search.
+  util::Rng rng(13);
+  RouletteWheel wheel;
+  wheel.rebuild(std::vector<double>{0.0, 5.0, 10.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[wheel.select(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 11.0 / 6.0, 0.3);
+  EXPECT_GT(counts[2], 0);  // the floor keeps the worst selectable
+}
+
+TEST(RouletteWheel, RebuildResizesAcrossGenerations) {
+  util::Rng rng(14);
+  RouletteWheel wheel;
+  wheel.rebuild(std::vector<double>{1.0, 2.0});
+  EXPECT_LT(wheel.select(rng), 2u);
+  wheel.rebuild(std::vector<double>{4.0, 1.0, 2.0, 3.0, 9.0});
+  EXPECT_EQ(wheel.size(), 5u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(wheel.select(rng), 5u);
+}
+
 TEST(Crossover, LengthMismatchThrows) {
   util::Rng rng(5);
   Chromosome a = {0, 1};
