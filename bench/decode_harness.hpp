@@ -39,6 +39,18 @@ inline void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
   throw std::bad_alloc();
 }
 
+inline void* counted_alloc_nothrow(std::size_t size) noexcept {
+  ++g_allocations;
+  return std::malloc(size ? size : 1);
+}
+
+inline void* counted_aligned_alloc_nothrow(std::size_t size,
+                                           std::size_t alignment) noexcept {
+  ++g_allocations;
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded ? rounded : alignment);
+}
+
 }  // namespace detail
 }  // namespace gridsched::bench
 
@@ -55,6 +67,37 @@ void* operator new(std::size_t size, std::align_val_t alignment) {
 void* operator new[](std::size_t size, std::align_val_t alignment) {
   return gridsched::bench::detail::counted_aligned_alloc(
       size, static_cast<std::size_t>(alignment));
+}
+// The nothrow forms must be replaced too (std::get_temporary_buffer inside
+// libstdc++'s inplace_merge/stable_sort allocates through them): leaving
+// them on the default allocator while delete goes to std::free is an
+// alloc/dealloc mismatch, and their allocations would escape the count.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return gridsched::bench::detail::counted_alloc_nothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return gridsched::bench::detail::counted_alloc_nothrow(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return gridsched::bench::detail::counted_aligned_alloc_nothrow(
+      size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return gridsched::bench::detail::counted_aligned_alloc_nothrow(
+      size, static_cast<std::size_t>(alignment));
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
 }
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
@@ -81,6 +124,7 @@ inline sim::SchedulerContext scenario_batch(const std::string& name,
   const workload::Workload w = exp::make_workload(scenario, seed);
   sim::SchedulerContext context;
   context.now = 500.0;
+  context.exec = w.exec;  // raw ETC for synth scenarios, rank-1 otherwise
   util::Rng rng(seed ^ 0x5eed5eedULL);
   for (const sim::SiteConfig& site : w.sites) {
     context.sites.push_back(site);

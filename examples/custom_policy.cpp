@@ -39,7 +39,9 @@ class ExpectedCompletionScheduler final : public sim::BatchScheduler {
             !security::is_safe(job.demand, site.security)) {
           continue;
         }
-        const double exec = job.work / site.speed;
+        // Resolve through the context's execution model so the policy
+        // stays exact on raw-ETC workloads.
+        const double exec = context.exec_time(job, s);
         const double completion =
             avail[s].preview(job.nodes, exec, context.now).end;
         const double p_fail =
@@ -51,8 +53,8 @@ class ExpectedCompletionScheduler final : public sim::BatchScheduler {
         }
       }
       if (best_site == sim::kInvalidSite) continue;
-      avail[best_site].reserve(job.nodes, job.work /
-                               context.sites[best_site].speed, context.now);
+      avail[best_site].reserve(job.nodes, context.exec_time(job, best_site),
+                               context.now);
       out.push_back({j, best_site});
     }
     return out;
@@ -99,7 +101,8 @@ int main(int argc, char** argv) {
   util::Table table({"scheduler", "makespan (s)", "response (s)", "N_fail"});
   // Baselines from the registry...
   for (const std::string name : {"mct", "min-min"}) {
-    sim::Engine engine(workload.sites, workload.jobs, engine_config);
+    sim::Engine engine(workload.sites, workload.jobs, engine_config,
+                       workload.exec);
     auto scheduler =
         sched::make_heuristic(name, security::RiskPolicy::f_risky(0.5));
     engine.run(*scheduler);
@@ -109,7 +112,8 @@ int main(int argc, char** argv) {
   }
   // ...versus the custom policy.
   {
-    sim::Engine engine(workload.sites, workload.jobs, engine_config);
+    sim::Engine engine(workload.sites, workload.jobs, engine_config,
+                       workload.exec);
     ExpectedCompletionScheduler scheduler(engine_config.lambda);
     engine.run(scheduler);
     const auto run = metrics::compute_metrics(engine);

@@ -161,6 +161,12 @@ int cmd_run(const util::Cli& cli) {
     config.lambda = cli.get_or("lambda", security::kDefaultLambda);
     config.seed = seed;
     auto scheduler = spec.make(nullptr, seed);
+    // Trace files carry no ETC matrix, so replay always runs the rank-1
+    // work/speed model — a trace generated from a raw-ETC synth scenario
+    // will not reproduce the scenario run exactly.
+    std::fprintf(stderr,
+                 "note: trace replay uses the rank-1 work/speed execution "
+                 "model (trace files carry no ETC)\n");
     sim::Engine engine(sites, jobs, config);
     engine.run(*scheduler);
     print_metrics(scheduler->name(), metrics::compute_metrics(engine), csv);

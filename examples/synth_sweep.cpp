@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
     engine_config.batch_interval = 2000.0;
     engine_config.seed = seed;
     sim::Engine engine(trace.workload.sites, trace.workload.jobs,
-                       engine_config);
+                       engine_config, trace.workload.exec);
     const auto scheduler =
         sched::make_heuristic(algo, security::RiskPolicy::f_risky(0.5));
     engine.run(*scheduler);

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
-#include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "sched/etc_matrix.hpp"
 #include "sched/risk_filter.hpp"
 
 namespace gridsched::core {
@@ -19,6 +19,7 @@ GaProblem build_problem(const sim::SchedulerContext& context,
   problem.now = context.now;
   problem.sites = context.sites;
   problem.avail = context.avail;
+  problem.exec_model = context.exec;
 
   for (std::size_t j = 0; j < context.jobs.size(); ++j) {
     if (context.jobs[j].nodes == 0) {
@@ -35,16 +36,15 @@ GaProblem build_problem(const sim::SchedulerContext& context,
     problem.domains.push_back(std::move(domain));
   }
 
+  // One shared feasibility-gated resolution (sched::EtcMatrix) over the
+  // full batch; the kept jobs' rows are gathered through batch_index.
   const std::size_t n_sites = problem.sites.size();
-  problem.exec.assign(problem.jobs.size() * n_sites,
-                      std::numeric_limits<double>::infinity());
-  problem.pfail.assign(problem.jobs.size() * n_sites, 0.0);
+  const sched::EtcMatrix etc(context);
+  problem.exec.resize(problem.jobs.size() * n_sites);
+  problem.pfail.resize(problem.jobs.size() * n_sites);
   for (std::size_t j = 0; j < problem.jobs.size(); ++j) {
     for (std::size_t s = 0; s < n_sites; ++s) {
-      if (problem.jobs[j].nodes <= problem.sites[s].nodes) {
-        problem.exec[j * n_sites + s] =
-            problem.jobs[j].work / problem.sites[s].speed;
-      }
+      problem.exec[j * n_sites + s] = etc.exec(problem.batch_index[j], s);
       problem.pfail[j * n_sites + s] = security::failure_probability(
           problem.jobs[j].demand, problem.sites[s].security, policy.lambda());
     }

@@ -26,7 +26,13 @@ struct GaProblem {
   std::vector<sim::NodeAvailability> avail; ///< committed profiles, per site
   /// Admissible sites per job (never empty for jobs kept in `jobs`).
   std::vector<std::vector<sim::SiteId>> domains;
-  /// Flattened jobs x sites execution times (infinity when infeasible).
+  /// The context's execution model, retained so sub-schedulers built from
+  /// this problem (heuristic population seeds) resolve exec times the same
+  /// way the `exec` matrix below was filled.
+  sim::ExecModel exec_model;
+  /// Flattened jobs x sites execution times (infinity when infeasible),
+  /// resolved through `exec_model`: raw ETC cells when the workload
+  /// carries a matrix, work/speed otherwise.
   std::vector<double> exec;
   /// Flattened jobs x sites Eq. 1 failure probabilities.
   std::vector<double> pfail;
@@ -50,6 +56,7 @@ struct GaProblem {
       sites = other.sites;
       avail = other.avail;
       domains = other.domains;
+      exec_model = other.exec_model;
       exec = other.exec;
       pfail = other.pfail;
       epoch = 0;  // unstamped: see above

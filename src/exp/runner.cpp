@@ -39,7 +39,8 @@ void train_stga(const Scenario& scenario, const workload::Workload& main,
     core::RecordingScheduler recorder(*heuristic, stga);
     sim::EngineConfig engine_config = scenario.engine;
     engine_config.seed = phase_seed;
-    sim::Engine engine(training.sites, training.jobs, engine_config);
+    sim::Engine engine(training.sites, training.jobs, engine_config,
+                       training.exec);
     engine.run(recorder);
   }
 }
@@ -63,7 +64,8 @@ metrics::RunMetrics run_once(const Scenario& scenario, const AlgorithmSpec& spec
 
   sim::EngineConfig engine_config = scenario.engine;
   engine_config.seed = engine_seed;
-  sim::Engine engine(workload.sites, workload.jobs, engine_config);
+  sim::Engine engine(workload.sites, workload.jobs, engine_config,
+                     workload.exec);
   engine.run(*scheduler);
   return metrics::compute_metrics(engine);
 }

@@ -64,6 +64,12 @@ workload::Workload make_training_workload(const Scenario& scenario,
   workload::Workload workload = make_workload(training, seed);
   workload.name += "-training";
   workload.sites = main.sites;  // identical grid => comparable signatures
+  // The grid substitution invalidates any raw ETC the training generator
+  // attached (its cells were fitted jointly with the discarded training
+  // sites, and a raw matrix is authoritative): fall back to the rank-1
+  // model against the main grid instead of simulating exec times from a
+  // grid the jobs no longer run on.
+  workload.exec = sim::ExecModel{};
   return workload;
 }
 

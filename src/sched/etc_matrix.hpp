@@ -15,6 +15,14 @@ class EtcMatrix {
  public:
   static constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
+  /// Batch view of the context's execution model: the raw per-(job, site)
+  /// ETC when the workload carries one, the rank-1 work/speed law
+  /// otherwise. This is the constructor schedulers use — building from
+  /// (jobs, sites) alone would silently re-project raw-ETC scenarios.
+  explicit EtcMatrix(const sim::SchedulerContext& context);
+
+  /// Rank-1 work/speed matrix, for callers without a context (tests,
+  /// hand-assembled experiments).
   EtcMatrix(const std::vector<sim::BatchJob>& jobs,
             const std::vector<sim::SiteConfig>& sites);
 

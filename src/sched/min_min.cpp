@@ -8,7 +8,7 @@ namespace gridsched::sched {
 
 std::vector<sim::Assignment> MinMinScheduler::schedule(
     const sim::SchedulerContext& context) {
-  const EtcMatrix etc(context.jobs, context.sites);
+  const EtcMatrix etc(context);
   std::vector<sim::NodeAvailability> avail = context.avail;
 
   std::vector<std::size_t> unassigned(context.jobs.size());

@@ -13,7 +13,7 @@ template <typename ScoreFn>
 std::vector<sim::Assignment> single_pass(const sim::SchedulerContext& context,
                                          const security::RiskPolicy& policy,
                                          ScoreFn&& score) {
-  const EtcMatrix etc(context.jobs, context.sites);
+  const EtcMatrix etc(context);
   std::vector<sim::NodeAvailability> avail = context.avail;
   std::vector<sim::Assignment> result;
   result.reserve(context.jobs.size());

@@ -4,13 +4,15 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <unordered_set>
+#include <utility>
 
 namespace gridsched::sim {
 
 Engine::Engine(std::vector<SiteConfig> sites, std::vector<Job> jobs,
-               EngineConfig config)
-    : config_(config) {
+               EngineConfig config, ExecModel exec_model)
+    : config_(config), exec_model_(std::move(exec_model)) {
   if (sites.empty()) throw std::invalid_argument("Engine: no sites");
   if (config_.batch_interval <= 0.0) {
     throw std::invalid_argument("Engine: batch_interval must be > 0");
@@ -25,6 +27,9 @@ Engine::Engine(std::vector<SiteConfig> sites, std::vector<Job> jobs,
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     jobs_[i].id = static_cast<JobId>(i);
   }
+  // The matrix rows are keyed by the dense ids just assigned; a shape
+  // mismatch would silently read a different job's row.
+  exec_model_.check_shape(jobs_.size(), sites_.size());
   attempts_.resize(jobs_.size());
   if (config_.validate_feasibility) validate_workload();
 }
@@ -53,10 +58,23 @@ bool Engine::work_remains() const noexcept {
 
 void Engine::ensure_cycle_scheduled(Time now) {
   if (cycle_scheduled_) return;
-  // Next multiple of the batch interval strictly after `now`.
-  const double intervals = std::floor(now / config_.batch_interval) + 1.0;
+  // Smallest integer cycle index whose derived time is strictly after
+  // `now`. The float quotient only seeds the search: at an exact multiple,
+  // floor(now/interval) + 1 can round to a cycle at (or before) `now`
+  // itself, so the index is corrected against the derived times and kept
+  // monotone across calls before any event is pushed.
+  std::uint64_t index = static_cast<std::uint64_t>(std::max(
+                            0.0, std::floor(now / config_.batch_interval))) +
+                        1;
+  while (index > 1 && static_cast<double>(index - 1) * config_.batch_interval >
+                          now) {
+    --index;
+  }
+  while (static_cast<double>(index) * config_.batch_interval <= now) ++index;
+  index = std::max(index, next_cycle_index_);
+  next_cycle_index_ = index + 1;
   Event cycle;
-  cycle.time = intervals * config_.batch_interval;
+  cycle.time = static_cast<double>(index) * config_.batch_interval;
   cycle.kind = EventKind::kBatchCycle;
   events_.push(cycle);
   cycle_scheduled_ = true;
@@ -101,10 +119,17 @@ void Engine::run(BatchScheduler& scheduler) {
           ++job.failures;
           job.secure_only = true;  // fail-stop: never risk again
           job.state = JobState::kPending;
-          site.account_busy(job.nodes, event.time - attempt.start);
-          // Give the unused tail of the reservation back to the site.
-          site.release_after_failure(job.nodes, attempt.start + attempt.exec,
-                                     event.time);
+          site.account_busy(job.nodes, event.time - attempt.window.start);
+          // Give the unused tail of the reservation back to the site,
+          // keyed by the exact stored window end (recomputing start + exec
+          // would rely on bitwise float equality against the profile). A
+          // node is unreclaimable only when a later batch cycle already
+          // stacked the next reservation onto it; count both outcomes so a
+          // zero-node release is visible instead of silently dropped.
+          const unsigned released = site.release_after_failure(
+              job.nodes, attempt.window.end, event.time);
+          counters_.released_nodes += released;
+          counters_.unreleased_nodes += job.nodes - released;
           pending_.push_back(event.job);
           ensure_cycle_scheduled(event.time);
         } else {
@@ -130,6 +155,7 @@ void Engine::handle_batch_cycle(Time now, BatchScheduler& scheduler) {
 
   SchedulerContext context;
   context.now = now;
+  context.exec = exec_model_;
   context.sites.reserve(sites_.size());
   context.avail.reserve(sites_.size());
   for (const GridSite& site : sites_) {
@@ -197,11 +223,12 @@ void Engine::dispatch(JobId job_id, SiteId site_id, Time now) {
   Job& job = jobs_[job_id];
   GridSite& site = sites_[site_id];
 
-  const double exec = site.exec_time(job.work);
+  const double exec =
+      exec_model_.exec(job.id, job.work, site_id, site.speed());
   const NodeAvailability::Window window = site.dispatch(job.nodes, exec, now);
 
   Attempt& attempt = attempts_[job_id];
-  attempt = {window.start, exec, site_id, true};
+  attempt = {window, exec, site_id, true};
   ++job.attempts;
   ++running_;
   job.state = JobState::kDispatched;

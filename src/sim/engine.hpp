@@ -10,6 +10,7 @@
 
 #include "security/security.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/exec_model.hpp"
 #include "sim/job.hpp"
 #include "sim/scheduling.hpp"
 #include "sim/site.hpp"
@@ -47,6 +48,14 @@ struct EngineCounters {
   std::size_t risky_attempts = 0;     ///< dispatches with P(fail) > 0
   std::size_t batch_invocations = 0;  ///< scheduler calls with a non-empty batch
   double scheduler_seconds = 0.0;     ///< wall time inside schedule()
+  /// Node reservation tails reclaimed by failure releases.
+  std::size_t released_nodes = 0;
+  /// Reserved tails a failure release could NOT reclaim because a later
+  /// reservation had already been stacked onto the node (its free time
+  /// moved past the stored window end). Not stranded capacity — the tail
+  /// is committed to the next job — but surfaced so a zero-node release
+  /// is visible instead of silently ignored.
+  std::size_t unreleased_nodes = 0;
 };
 
 /// Runs one simulation: jobs are injected at their arrival times, scheduled
@@ -54,8 +63,11 @@ struct EngineCounters {
 /// space-shared sites, and possibly re-scheduled after security failures.
 class Engine {
  public:
+  /// `exec_model`: per-(job, site) execution times. A raw ETC matrix (rows
+  /// keyed by position in `jobs`) is authoritative; the default model is
+  /// the rank-1 work/speed fallback.
   Engine(std::vector<SiteConfig> sites, std::vector<Job> jobs,
-         EngineConfig config = {});
+         EngineConfig config = {}, ExecModel exec_model = {});
 
   /// Run to completion (all jobs finished). The scheduler object must
   /// outlive the call. Throws on scheduler protocol violations.
@@ -71,7 +83,10 @@ class Engine {
 
  private:
   struct Attempt {
-    Time start = 0.0;
+    /// The reservation committed at dispatch. `window.end` is the exact
+    /// stored free time the site must be released against after a failure
+    /// (recomputing start + exec would rely on bitwise float equality).
+    NodeAvailability::Window window;
     double exec = 0.0;
     SiteId site = kInvalidSite;
     bool active = false;
@@ -86,6 +101,7 @@ class Engine {
   std::vector<GridSite> sites_;
   std::vector<Job> jobs_;
   EngineConfig config_;
+  ExecModel exec_model_;
 
   EventQueue events_;
   std::deque<JobId> pending_;
@@ -95,6 +111,10 @@ class Engine {
   std::size_t arrivals_remaining_ = 0;
   std::size_t running_ = 0;
   bool cycle_scheduled_ = false;
+  /// 1 + index of the last scheduled batch cycle: cycle times are derived
+  /// from integer indices (index * batch_interval), never by accumulating
+  /// floats, so a cycle can never land at or before the current time.
+  std::uint64_t next_cycle_index_ = 0;
   std::size_t idle_cycles_ = 0;
   bool ran_ = false;
 };

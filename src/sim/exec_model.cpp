@@ -1,0 +1,48 @@
+#include "sim/exec_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace gridsched::sim {
+
+ExecModel::ExecModel(std::size_t n_jobs, std::size_t n_sites,
+                     std::vector<double> cells) {
+  if (n_jobs == 0 || n_sites == 0) {
+    throw std::invalid_argument("ExecModel: empty matrix dimensions");
+  }
+  if (cells.size() != n_jobs * n_sites) {
+    throw std::invalid_argument(
+        "ExecModel: cell count " + std::to_string(cells.size()) +
+        " does not match " + std::to_string(n_jobs) + " jobs x " +
+        std::to_string(n_sites) + " sites");
+  }
+  for (const double cell : cells) {
+    if (!std::isfinite(cell) || cell <= 0.0) {
+      throw std::invalid_argument(
+          "ExecModel: ETC cells must be finite and > 0");
+    }
+  }
+  auto matrix = std::make_shared<Matrix>();
+  matrix->n_jobs = n_jobs;
+  matrix->n_sites = n_sites;
+  matrix->cells = std::move(cells);
+  matrix_ = std::move(matrix);
+}
+
+void ExecModel::check_shape(std::size_t n_jobs, std::size_t n_sites) const {
+  if (matrix_ == nullptr) return;
+  // Exact match only: rows are keyed by dense JobId, so even a larger
+  // matrix means the job list was subset/reordered relative to the
+  // workload the matrix was generated for — every lookup would silently
+  // read some other job's row.
+  if (matrix_->n_jobs != n_jobs || matrix_->n_sites != n_sites) {
+    throw std::invalid_argument(
+        "ExecModel: matrix shape " + std::to_string(matrix_->n_jobs) + "x" +
+        std::to_string(matrix_->n_sites) + " does not cover " +
+        std::to_string(n_jobs) + " jobs x " + std::to_string(n_sites) +
+        " sites");
+  }
+}
+
+}  // namespace gridsched::sim

@@ -1,0 +1,68 @@
+// Per-(job, site) execution-time resolution. A workload may attach a raw
+// Expected-Time-to-Compute matrix (Braun et al. terminology); when present
+// it is *authoritative* — the engine, the heuristics and the GA all resolve
+// execution times through it. Without a matrix the model falls back to the
+// rank-1 `work / speed` law, i.e. the rank-1 ETC is generated on demand
+// from the job/site fields rather than materialised.
+//
+// Invariant (ROADMAP "Execution model"): every consumer of execution times
+// must go through an ExecModel (or a matrix derived from one, such as
+// sched::EtcMatrix / GaProblem::exec) so that raw-ETC scenarios stay exact
+// end to end.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace gridsched::sim {
+
+class ExecModel {
+ public:
+  /// Rank-1 fallback model: exec(job, site) = work / speed.
+  ExecModel() = default;
+
+  /// Wrap a raw jobs x sites ETC matrix, row-major; row j holds the
+  /// execution times of the job with JobId j (workloads assign dense ids in
+  /// vector order). Cells must be finite and > 0 — infeasible (job, site)
+  /// pairs are a node-fit question, not an ETC one. Throws
+  /// std::invalid_argument on shape or cell violations.
+  ExecModel(std::size_t n_jobs, std::size_t n_sites, std::vector<double> cells);
+
+  [[nodiscard]] bool has_matrix() const noexcept { return matrix_ != nullptr; }
+  [[nodiscard]] std::size_t matrix_jobs() const noexcept {
+    return matrix_ ? matrix_->n_jobs : 0;
+  }
+  [[nodiscard]] std::size_t matrix_sites() const noexcept {
+    return matrix_ ? matrix_->n_sites : 0;
+  }
+
+  /// Execution time of `job` on `site`. `work` and `speed` feed the rank-1
+  /// fallback and are ignored when a matrix is attached.
+  [[nodiscard]] double exec(JobId job, double work, SiteId site,
+                            double speed) const noexcept {
+    if (matrix_ == nullptr) return work / speed;
+    return matrix_->cells[static_cast<std::size_t>(job) * matrix_->n_sites +
+                          static_cast<std::size_t>(site)];
+  }
+
+  /// Throws std::invalid_argument when a matrix is attached and its shape
+  /// is not exactly `n_jobs` x `n_sites` (rows are keyed by dense JobId, so
+  /// any size mismatch means misaligned rows). No-op without a matrix.
+  void check_shape(std::size_t n_jobs, std::size_t n_sites) const;
+
+ private:
+  struct Matrix {
+    std::size_t n_jobs = 0;
+    std::size_t n_sites = 0;
+    std::vector<double> cells;
+  };
+
+  /// Shared, immutable: copying an ExecModel (workload -> engine ->
+  /// per-batch contexts -> GA problems) never copies the cells.
+  std::shared_ptr<const Matrix> matrix_;
+};
+
+}  // namespace gridsched::sim

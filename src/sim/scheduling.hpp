@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/exec_model.hpp"
 #include "sim/job.hpp"
 #include "sim/site.hpp"
 #include "sim/types.hpp"
@@ -31,6 +32,16 @@ struct SchedulerContext {
   std::vector<SiteConfig> sites;
   std::vector<NodeAvailability> avail;  ///< parallel to `sites`
   std::vector<BatchJob> jobs;           ///< the pending batch
+  /// The engine's execution model. Raw ETC when the workload carries one
+  /// (authoritative — schedulers must resolve exec times through it, never
+  /// recompute work/speed themselves); rank-1 fallback otherwise.
+  ExecModel exec;
+
+  /// Execution time of batch job `job` on site index `s`, resolved through
+  /// the execution model (matrix rows are keyed by the job's global id).
+  [[nodiscard]] double exec_time(const BatchJob& job, std::size_t s) const noexcept {
+    return exec.exec(job.id, job.work, static_cast<SiteId>(s), sites[s].speed);
+  }
 };
 
 /// One placement decision. The engine dispatches assignments in the order

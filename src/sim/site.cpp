@@ -67,9 +67,9 @@ NodeAvailability::Window GridSite::dispatch(unsigned job_nodes, double exec, Tim
   return avail_.reserve(job_nodes, exec, now);
 }
 
-void GridSite::release_after_failure(unsigned job_nodes, Time reserved_end,
-                                     Time detect_time) {
-  avail_.release(job_nodes, reserved_end, detect_time);
+unsigned GridSite::release_after_failure(unsigned job_nodes, Time reserved_end,
+                                         Time detect_time) {
+  return avail_.release(job_nodes, reserved_end, detect_time);
 }
 
 void GridSite::account_busy(unsigned job_nodes, double duration) noexcept {

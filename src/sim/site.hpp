@@ -17,7 +17,9 @@ namespace gridsched::sim {
 struct SiteConfig {
   SiteId id = kInvalidSite;
   unsigned nodes = 1;
-  /// Node speed: a job of `work` reference seconds runs work/speed seconds.
+  /// Node speed for the rank-1 fallback execution model: a job of `work`
+  /// reference seconds runs work/speed seconds. Ignored for exec-time
+  /// resolution when the workload attaches a raw ETC (sim::ExecModel).
   double speed = 1.0;
   /// Security level SL (paper: U[0.4, 1.0]).
   double security = 1.0;
@@ -74,10 +76,6 @@ class GridSite {
   [[nodiscard]] double speed() const noexcept { return config_.speed; }
   [[nodiscard]] double security() const noexcept { return config_.security; }
 
-  /// Execution time of `work` reference seconds on this site.
-  [[nodiscard]] double exec_time(double work) const noexcept {
-    return work / config_.speed;
-  }
   [[nodiscard]] bool fits(unsigned job_nodes) const noexcept {
     return job_nodes <= config_.nodes;
   }
@@ -85,12 +83,16 @@ class GridSite {
   [[nodiscard]] const NodeAvailability& availability() const noexcept { return avail_; }
 
   /// Commit a reservation for a job needing `job_nodes` nodes and `exec`
-  /// seconds, starting no earlier than `now`.
+  /// seconds (resolved by the caller through the ExecModel), starting no
+  /// earlier than `now`.
   NodeAvailability::Window dispatch(unsigned job_nodes, double exec, Time now);
 
-  /// Reclaim the unused tail of a failed job's reservation.
-  void release_after_failure(unsigned job_nodes, Time reserved_end,
-                             Time detect_time);
+  /// Reclaim the unused tail of a failed job's reservation. `reserved_end`
+  /// must be the end of the Window `dispatch` returned for that job.
+  /// Returns how many nodes were actually reclaimed (the caller checks it
+  /// against job_nodes — a shortfall means stranded capacity).
+  unsigned release_after_failure(unsigned job_nodes, Time reserved_end,
+                                 Time detect_time);
 
   /// Account node-seconds actually spent computing (successful runs fully,
   /// failed runs until the failure was detected).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace gridsched::util {
 
@@ -47,7 +48,11 @@ double RunningStats::ci95_halfwidth() const noexcept {
 }
 
 double percentile(std::span<const double> sample, double q) {
-  if (sample.empty()) return 0.0;
+  if (sample.empty()) {
+    // A silent 0.0 here once masked empty-sample reporting bugs; the
+    // quantile of nothing has no value to return.
+    throw std::invalid_argument("percentile: empty sample");
+  }
   std::vector<double> sorted(sample.begin(), sample.end());
   std::sort(sorted.begin(), sorted.end());
   q = std::clamp(q, 0.0, 1.0);

@@ -33,7 +33,9 @@ class RunningStats {
 };
 
 /// Linear-interpolation percentile of an unsorted sample (copies + sorts).
-/// q in [0, 1]; returns 0 for an empty sample.
+/// q is clamped to [0, 1]. Throws std::invalid_argument on an empty sample
+/// — callers must guard (metrics/bench reporting checks count() first)
+/// rather than silently reporting a 0.0 quantile.
 double percentile(std::span<const double> sample, double q);
 
 /// Mean of a sample (0 for empty).

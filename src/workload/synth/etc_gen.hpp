@@ -3,13 +3,13 @@
 // 2001): three consistency classes crossed with hi/lo task and machine
 // heterogeneity.
 //
-// The simulator's execution model is rank-1 (exec = work / speed), so a
-// generated matrix is projected onto that model with a log-domain
-// least-squares fit (`fit_work_speed`). For consistent matrices the fit is
-// near-exact; for semi-consistent and inconsistent matrices the residual
-// quantifies how much cross-site structure the projection discards. The raw
-// matrix is retained so tests (and future ETC-aware schedulers) can consume
-// it directly.
+// The raw generated matrix is executed directly by the simulator (it
+// becomes the workload's sim::ExecModel), so every consistency class is
+// exact. The log-domain least-squares rank-1 fit (`fit_work_speed`) is kept
+// for two jobs: deriving the scalar work/speed fields a Workload still
+// carries (trace I/O, fallback model, characterisation), and the
+// log_rms_residual diagnostic quantifying how much cross-site structure a
+// rank-1 projection would discard.
 #pragma once
 
 #include <cstdint>

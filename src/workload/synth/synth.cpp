@@ -71,7 +71,11 @@ SynthTrace synth_trace(const SynthConfig& config, std::uint64_t seed) {
 
   SynthTrace trace;
 
-  // 1. ETC matrix in the requested class, projected onto work/speed.
+  // 1. ETC matrix in the requested class. The raw matrix is what the
+  // simulator executes (attached below as the workload's ExecModel); the
+  // rank-1 work/speed fit is kept only to derive site speeds / job work
+  // fields and as a diagnostic (log_rms_residual measures how much
+  // cross-site structure a rank-1 projection *would* discard).
   util::Rng etc_rng = util::Rng::child(seed, kEtcStream);
   trace.etc = generate_etc(config.n_jobs, config.n_sites, config.etc, etc_rng);
   trace.fit = fit_work_speed(trace.etc);
@@ -118,6 +122,12 @@ SynthTrace synth_trace(const SynthConfig& config, std::uint64_t seed) {
     job.nodes = draw_nodes(config, max_site_nodes, size_rng);
     job.demand = draw_demand(config.security, demand_rng);
   }
+
+  // 4. Attach the raw ETC as the workload's execution model: inconsistent
+  // and semi-consistent classes run exactly as generated instead of
+  // through the rank-1 projection.
+  workload.exec =
+      sim::ExecModel(config.n_jobs, config.n_sites, trace.etc.cells);
   return trace;
 }
 

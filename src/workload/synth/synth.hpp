@@ -1,6 +1,9 @@
 // Synthetic workload generator: parameterised ETC heterogeneity classes x
-// arrival processes x security regimes, projected onto the simulator's
-// work/speed execution model. Everything is deterministic in
+// arrival processes x security regimes. The generated raw per-(job, site)
+// ETC matrix is attached to the workload as its sim::ExecModel, so every
+// consistency class — including semi-consistent and inconsistent — is
+// simulated exactly; the rank-1 work/speed fit only supplies the job/site
+// scalar fields and a residual diagnostic. Everything is deterministic in
 // (config, seed) via independent util::Rng child streams, so scenarios are
 // reproducible and shardable across the thread pool.
 #pragma once
@@ -38,8 +41,9 @@ struct SynthConfig {
 /// on degenerate configs.
 Workload synth_workload(const SynthConfig& config, std::uint64_t seed);
 
-/// Generation byproducts for analysis/tests: the raw ETC matrix before the
-/// rank-1 projection and the fit that produced the jobs/sites.
+/// Generation byproducts for analysis/tests: the raw ETC matrix (the same
+/// cells the workload's ExecModel executes) and the rank-1 fit that
+/// produced the job work / site speed scalars.
 struct SynthTrace {
   Workload workload;
   EtcMatrixData etc;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/exec_model.hpp"
 #include "sim/job.hpp"
 #include "sim/site.hpp"
 
@@ -13,6 +14,11 @@ struct Workload {
   std::string name;
   std::vector<sim::SiteConfig> sites;
   std::vector<sim::Job> jobs;
+  /// Execution model to simulate under. Generators that produce a raw
+  /// per-(job, site) ETC (the synth family) attach it here and it is
+  /// authoritative; for the rank-1 testbeds (nas, psa) the default model
+  /// derives exec = work / speed on demand.
+  sim::ExecModel exec;
 };
 
 }  // namespace gridsched::workload

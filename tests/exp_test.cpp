@@ -1,6 +1,7 @@
 #include "exp/roster.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "exp/scenario_registry.hpp"
 
 #include <gtest/gtest.h>
 
@@ -51,6 +52,20 @@ TEST(Scenario, TrainingWorkloadReusesMainSites) {
   }
   EXPECT_EQ(training.jobs.size(), 40u);
   EXPECT_NE(training.name.find("training"), std::string::npos);
+}
+
+TEST(Scenario, SynthTrainingWorkloadDropsTheTrainingEtc) {
+  // The training workload reuses the main run's sites, which invalidates
+  // the raw ETC generated against the training grid: it must fall back to
+  // the rank-1 model rather than execute a matrix fitted to sites the
+  // jobs no longer run on.
+  const Scenario scenario = make_scenario("synth-inconsistent-hihi", 60);
+  const workload::Workload main = make_workload(scenario, 7);
+  ASSERT_TRUE(main.exec.has_matrix());
+  const workload::Workload training =
+      make_training_workload(scenario, main, 20, 8);
+  EXPECT_FALSE(training.exec.has_matrix());
+  EXPECT_EQ(training.jobs.size(), 20u);
 }
 
 TEST(Scenario, TrainingWorkloadShrinksNasHorizon) {

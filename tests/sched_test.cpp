@@ -70,6 +70,26 @@ TEST(EtcMatrix, FlattenedLayoutIsRowMajor) {
   EXPECT_DOUBLE_EQ(flat[3], 2.0);  // job 1 site 1
 }
 
+TEST(EtcMatrix, ContextConstructorUsesTheRawExecModel) {
+  auto context = make_context({{0, 2, 2.0, 1.0}, {1, 1, 4.0, 1.0}},
+                              {batch_job(100.0), batch_job(50.0, 2)});
+  context.exec = sim::ExecModel(2, 2, {7.0, 9.0, 11.0, 13.0});
+  const EtcMatrix etc(context);
+  EXPECT_DOUBLE_EQ(etc.exec(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(etc.exec(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(etc.exec(1, 0), 11.0);
+  // Node fit still decides feasibility, whatever the matrix says.
+  EXPECT_TRUE(std::isinf(etc.exec(1, 1)));
+}
+
+TEST(EtcMatrix, ContextConstructorFallsBackToWorkOverSpeed) {
+  const auto context = make_context({{0, 1, 2.0, 1.0}, {1, 1, 4.0, 1.0}},
+                                    {batch_job(100.0)});
+  const EtcMatrix etc(context);  // no matrix attached -> rank-1
+  EXPECT_DOUBLE_EQ(etc.exec(0, 0), 50.0);
+  EXPECT_DOUBLE_EQ(etc.exec(0, 1), 25.0);
+}
+
 // --------------------------------------------------------- risk filter ---
 
 TEST(RiskFilter, CombinesFitAndPolicy) {

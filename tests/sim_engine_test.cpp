@@ -328,6 +328,73 @@ TEST(Engine, DifferentSeedsChangeFailureOutcomes) {
   EXPECT_TRUE(a != b || b != c || c != d);
 }
 
+TEST(Engine, FailureReleasesReservedCapacity) {
+  // Job A (2 nodes, 1000 s) certain-fails on the risky site with immediate
+  // detection: both reserved node-tails must come back at the detection
+  // instant so job B can reuse the site at the next cycle instead of
+  // queueing behind A's stale 1000 s reservation.
+  EngineConfig config = quick_config(50.0);
+  config.lambda = 1000.0;  // P(fail) ~= 1 on the risky site
+  config.detection = FailureDetection::kImmediate;
+  std::vector<Job> jobs = {make_job(0.0, 1000.0, 2, 0.9),
+                           make_job(60.0, 10.0, 1, 0.3)};
+  Engine engine({{0, 2, 1.0, 0.4}, {1, 2, 1.0, 1.0}}, jobs, config);
+  sched::MctScheduler scheduler(security::RiskPolicy::risky());
+  engine.run(scheduler);
+
+  const Job& a = engine.jobs()[0];
+  const Job& b = engine.jobs()[1];
+  EXPECT_EQ(a.failures, 1u);
+  EXPECT_EQ(a.final_site, 1u);  // fail-stop retry on the safe site
+  EXPECT_DOUBLE_EQ(a.finish, 1100.0);  // retry dispatched at t=100
+  // B lands on site 0 at the t=100 cycle: both nodes were released when
+  // A's failure was detected (t=50.001), not held until t=1050.
+  EXPECT_EQ(b.final_site, 0u);
+  EXPECT_DOUBLE_EQ(b.first_start, 100.0);
+  EXPECT_DOUBLE_EQ(b.finish, 110.0);
+  // Both of A's reserved node-tails were reclaimed, none silently dropped.
+  EXPECT_EQ(engine.counters().released_nodes, 2u);
+  EXPECT_EQ(engine.counters().unreleased_nodes, 0u);
+}
+
+TEST(Engine, FailureReleaseCountsTailsAlreadyReReserved) {
+  // A 1-node site runs doomed job A (detection at the very end of the
+  // window); job B's reservation is stacked onto the same node at the
+  // t=100 cycle (the slow safe site would finish B far later), before A's
+  // failure fires at t=150. The release then finds the node's free time
+  // moved past A's window end — 0 tails reclaimed, surfaced through
+  // unreleased_nodes rather than silently ignored.
+  EngineConfig config = quick_config(50.0);
+  config.lambda = 1000.0;
+  config.detection = FailureDetection::kAtEnd;
+  std::vector<Job> jobs = {make_job(0.0, 100.0, 1, 0.9),
+                           make_job(60.0, 10.0, 1, 0.3)};
+  Engine engine({{0, 1, 1.0, 0.4}, {1, 1, 0.01, 1.0}}, jobs, config);
+  sched::MctScheduler scheduler(security::RiskPolicy::risky());
+  engine.run(scheduler);
+
+  const Job& b = engine.jobs()[1];
+  EXPECT_EQ(engine.jobs()[0].failures, 1u);
+  EXPECT_EQ(b.final_site, 0u);
+  EXPECT_DOUBLE_EQ(b.first_start, 150.0);  // stacked behind A's full window
+  EXPECT_EQ(engine.counters().released_nodes, 0u);
+  EXPECT_EQ(engine.counters().unreleased_nodes, 1u);
+}
+
+TEST(Engine, BatchCycleAtExactMultipleStaysStrictlyAfterNow) {
+  // 5 * 0.2 rounds to exactly 1.0 while 1.0 / 0.2 floats to 4.999...: the
+  // old float cycle computation (floor(now/interval) + 1) scheduled the
+  // cycle for the t=1.0 arrival AT t=1.0 itself. The integer-index
+  // derivation must place it strictly after, at 6 * 0.2.
+  EngineConfig config = quick_config(0.2);
+  Engine engine({{0, 1, 1.0, 1.0}}, {make_job(1.0, 1.0, 1, 0.5)}, config);
+  sched::MctScheduler scheduler(security::RiskPolicy::secure());
+  engine.run(scheduler);
+  const Job& job = engine.jobs()[0];
+  EXPECT_GT(job.first_start, 1.0);
+  EXPECT_NEAR(job.first_start, 1.2, 1e-9);
+}
+
 TEST(Engine, SchedulerSecondsAccumulate) {
   std::vector<Job> jobs;
   for (int i = 0; i < 10; ++i) jobs.push_back(make_job(i * 2.0, 5.0, 1, 0.7));

@@ -133,11 +133,6 @@ TEST(GridSite, RejectsNonPositiveSpeed) {
   EXPECT_THROW(GridSite(config_of(2, -1.0, 0.5)), std::invalid_argument);
 }
 
-TEST(GridSite, ExecTimeScalesWithSpeed) {
-  const GridSite site(config_of(2, 4.0, 0.5));
-  EXPECT_DOUBLE_EQ(site.exec_time(100.0), 25.0);
-}
-
 TEST(GridSite, FitsChecksNodeCount) {
   const GridSite site(config_of(8, 1.0, 0.5));
   EXPECT_TRUE(site.fits(8));
@@ -174,8 +169,26 @@ TEST(GridSite, UtilizationClampsToOne) {
 TEST(GridSite, ReleaseAfterFailureShortensBacklog) {
   GridSite site(config_of(1, 1.0, 0.5));
   const auto window = site.dispatch(1, 100.0, 0.0);
-  site.release_after_failure(1, window.end, 30.0);
+  EXPECT_EQ(site.release_after_failure(1, window.end, 30.0), 1u);
   EXPECT_DOUBLE_EQ(site.availability().earliest_start(1, 0.0), 30.0);
+}
+
+TEST(NodeAvailability, ReleaseWithCoincidingReservationEnds) {
+  // Two independent reservations ending at the same instant: releasing one
+  // job's nodes must reclaim exactly its node count, and releasing the
+  // second afterwards must still find the remaining entries.
+  NodeAvailability avail(3, 0.0);
+  const auto w1 = avail.reserve(1, 10.0, 0.0);
+  const auto w2 = avail.reserve(2, 10.0, 0.0);
+  ASSERT_DOUBLE_EQ(w1.end, w2.end);  // coinciding by construction
+  EXPECT_EQ(avail.release(1, w1.end, 4.0), 1u);
+  const auto& after_first = avail.free_times();
+  EXPECT_EQ(std::count(after_first.begin(), after_first.end(), 10.0), 2);
+  EXPECT_EQ(std::count(after_first.begin(), after_first.end(), 4.0), 1);
+  EXPECT_EQ(avail.release(2, w2.end, 6.0), 2u);
+  const auto& after_second = avail.free_times();
+  EXPECT_EQ(std::count(after_second.begin(), after_second.end(), 6.0), 2);
+  EXPECT_TRUE(std::is_sorted(after_second.begin(), after_second.end()));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace gridsched::util {
@@ -93,8 +94,10 @@ TEST(RunningStats, Ci95ShrinksWithSamples) {
   EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
 }
 
-TEST(Percentile, EmptySampleIsZero) {
-  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+TEST(Percentile, EmptySampleThrows) {
+  // The quantile of nothing has no value; a silent 0.0 masked reporting
+  // bugs in callers that forgot to guard empty samples.
+  EXPECT_THROW(static_cast<void>(percentile({}, 0.5)), std::invalid_argument);
 }
 
 TEST(Percentile, MedianOfOddSample) {
