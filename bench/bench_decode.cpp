@@ -138,7 +138,9 @@ int main(int argc, char** argv) {
   for (const std::string& name : classes) {
     for (const std::size_t n_jobs : sizes) {
       const auto context = scenario_batch(name, n_jobs, args.seed);
-      rows.push_back(measure_decode(name, context, repeats, args.seed + n_jobs));
+      rows.push_back(measure_decode(
+          name, context, repeats,
+          util::SeedMix(args.seed).mix(name).mix(n_jobs).seed()));
       const DecodeRow& row = rows.back();
       table.row()
           .cell(row.scenario)
@@ -180,7 +182,7 @@ int main(int argc, char** argv) {
   // The seed implementation's per-batch evaluation bill: population x
   // (generations + 1) reference decodes — a strict lower bound on its
   // per-batch latency. Replayed here with the retained reference decode.
-  util::Rng bill_rng(args.seed + 1);
+  util::Rng bill_rng = util::SeedMix(args.seed).mix("bill").rng();
   std::vector<core::Chromosome> stream;
   for (int i = 0; i < 32; ++i) {
     stream.push_back(core::random_chromosome(problem, bill_rng));
@@ -200,7 +202,7 @@ int main(int argc, char** argv) {
   ga.population = population;
   ga.generations = generations;
   ga.fitness = fitness_params;
-  util::Rng ga_rng(args.seed + 2);
+  util::Rng ga_rng = util::SeedMix(args.seed).mix("ga").rng();
   start = Clock::now();
   const core::GaResult result = core::evolve(problem, {}, ga, ga_rng);
   const double evolve_ms = elapsed_ms(start);

@@ -1,8 +1,11 @@
 // Synthetic-scenario sweep: every registered synth-* scenario (ETC
 // consistency classes, arrival processes, security regimes) against every
-// registry heuristic plus the GAs. Deterministic in --seed: two runs with
-// the same seed print identical makespan/slowdown tables, so the output
-// doubles as a reproducibility check for the generator.
+// registry heuristic plus the GAs — expressed as a declarative campaign
+// and sharded across the thread pool (--threads=N; 1 = serial).
+// Deterministic in --seed: per-cell seeds hash (seed, scenario, policy,
+// replication), so two runs with the same seed print identical
+// makespan/slowdown tables for ANY thread count, and the output doubles
+// as a reproducibility check for the generator and the campaign layer.
 #include "bench_common.hpp"
 
 using namespace gridsched;
@@ -19,40 +22,58 @@ int main(int argc, char** argv) {
       "heterogeneity class and arrival burstiness dominate makespan; the "
       "risky security regime trades failures for response time");
 
+  exp::campaign::CampaignSpec spec;
+  spec.name = "bench-synth";
+  spec.seed = args.seed;
+  spec.replications = args.reps;
+  spec.metrics = {"makespan", "slowdown", "n_fail", "n_risk", "avg_response"};
+  for (const std::string& name : exp::scenario_names()) {
+    if (name.rfind("synth-", 0) != 0) continue;
+    exp::campaign::ScenarioRef ref;
+    ref.name = name;
+    ref.n_jobs = jobs;
+    spec.scenarios.push_back(std::move(ref));
+  }
   // All registry heuristics under the f-risky policy, plus the GAs.
-  std::vector<exp::AlgorithmSpec> specs;
   for (const std::string& name : sched::heuristic_names()) {
-    specs.push_back(
-        exp::heuristic_spec(name, security::RiskPolicy::f_risky(args.f)));
+    exp::campaign::PolicyRef ref;
+    ref.algo = name;
+    ref.mode = "f-risky";
+    ref.f = args.f;
+    spec.policies.push_back(std::move(ref));
   }
   core::StgaConfig stga = bench::paper_stga();
   if (args.quick) {
     stga.ga.population = 50;
     stga.ga.generations = 20;
   }
-  specs.push_back(exp::stga_spec(stga));
-  specs.push_back(exp::classic_ga_spec(stga));
-
-  util::Table table({"scenario", "algorithm", "makespan (s)", "slowdown",
-                     "N_fail", "N_risk", "avg response (s)"});
-  for (const std::string& name : exp::scenario_names()) {
-    if (name.rfind("synth-", 0) != 0) continue;
-    const exp::Scenario scenario = exp::make_scenario(name, jobs);
-    for (const auto& spec : specs) {
-      const auto result =
-          exp::run_replicated(scenario, spec, args.reps, args.seed);
-      const auto& agg = result.aggregate;
-      table.row()
-          .cell(name)
-          .cell(spec.name)
-          .cell(agg.makespan().mean(), 3)
-          .cell(agg.slowdown().mean(), 2)
-          .cell(agg.n_fail().mean(), 0)
-          .cell(agg.n_risk().mean(), 0)
-          .cell(agg.avg_response().mean(), 3);
-      std::fflush(stdout);
-    }
+  for (const char* ga_algo : {"stga", "ga"}) {
+    exp::campaign::PolicyRef ref;
+    ref.algo = ga_algo;
+    ref.stga = stga;
+    spec.policies.push_back(std::move(ref));
   }
-  std::printf("%s\n", table.str().c_str());
+
+  exp::campaign::RunnerOptions options;
+  options.threads = static_cast<std::size_t>(
+      cli.get_or("threads", std::int64_t{0}));
+  // Full sweeps run the GAs for minutes: stream per-cell progress to
+  // stderr so the (stdout) table stays clean and diffable.
+  options.on_cell = [&spec](const exp::campaign::CellResult& cell,
+                            std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "[%zu/%zu] %s / %s rep %zu: makespan %.0f s\n",
+                 done, total,
+                 spec.scenarios[cell.cell.scenario].display().c_str(),
+                 spec.policies[cell.cell.policy].display().c_str(),
+                 cell.cell.replication, cell.metrics.makespan);
+  };
+  exp::campaign::CampaignRunner runner(options);
+  const exp::campaign::CampaignResult result = runner.run(spec);
+  std::printf("%s\n", exp::campaign::render_table(result).c_str());
+
+  if (const auto path = cli.get("out-json")) {
+    exp::campaign::JsonFileSink(*path).consume(result);
+    std::printf("wrote %s\n", path->c_str());
+  }
   return 0;
 }

@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
                     (security::kSiteSecurityHi - security::kSiteSecurityLo) *
                         security::trust_index(attrs);
   }
-  util::Rng guard_rng(seed + 1);
+  util::Rng guard_rng = util::SeedMix(seed).mix("safe-home").rng();
   workload::ensure_safe_home(workload.sites, 1, security::kJobDemandHi,
                              guard_rng);
 

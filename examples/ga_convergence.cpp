@@ -75,7 +75,9 @@ int main(int argc, char** argv) {
       chromosome[assignment.job_index] = assignment.site;
     }
     seeds.push_back(chromosome);
-    util::Rng noise(seed + (use_sufferage ? 7 : 3));
+    util::Rng noise = util::SeedMix(seed)
+                          .mix(use_sufferage ? "sufferage" : "min-min")
+                          .rng();
     for (int copy = 0; copy < 49; ++copy) {
       core::Chromosome perturbed = chromosome;
       core::mutate(perturbed, problem,

@@ -15,12 +15,22 @@
 //             "mct", "met", "olb"), "stga" or "ga".
 //   roster    [--scenario=NAME --jobs=N --reps=R --seed=S]
 //             Run the paper's 7-algorithm comparison.
+//   campaign  SPEC.json [--threads=N] [--dry-run] [--out-json=F]
+//             [--out-csv=F] [--quiet]
+//             Run a declarative experiment campaign (scenario x policy x
+//             replication grid; see examples/campaigns/ and the README
+//             "Campaigns" section). --dry-run lists the expanded run
+//             matrix without simulating; the aggregate JSON artifact is
+//             byte-identical for any --threads value.
 //
 // --scenario accepts any name from exp::scenario_names() ("nas", "psa",
 // "synth-inconsistent-hihi", ...). The older --kind=nas|psa spelling is
 // kept as an alias.
 #include <cstdio>
+#include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "gridsched.hpp"
 #include "workload/stats.hpp"
@@ -30,10 +40,10 @@ using namespace gridsched;
 namespace {
 
 int usage() {
-  std::fprintf(
-      stderr,
-      "usage: gridsched_cli <scenarios|generate|describe|run|roster> [flags]\n"
-      "see the header of examples/gridsched_cli.cpp for details\n");
+  std::fprintf(stderr,
+               "usage: gridsched_cli "
+               "<scenarios|generate|describe|run|roster|campaign> [flags]\n"
+               "see the header of examples/gridsched_cli.cpp for details\n");
   return 2;
 }
 
@@ -96,11 +106,15 @@ int cmd_generate(const util::Cli& cli) {
       cli.get_or("out-jobs", workload.name + "_jobs.trace");
   const std::string out_sites =
       cli.get_or("out-sites", workload.name + "_sites.trace");
-  workload::write_jobs_file(out_jobs, workload.jobs);
+  // Raw-ETC scenarios serialize their matrix into the jobs trace (the
+  // versioned ";etc" section), so `run --trace` replays them exactly.
+  workload::write_jobs_file(out_jobs, workload.jobs, workload.exec);
   workload::write_sites_file(out_sites, workload.sites);
-  std::printf("wrote %zu jobs to %s and %zu sites to %s\n",
-              workload.jobs.size(), out_jobs.c_str(), workload.sites.size(),
-              out_sites.c_str());
+  std::printf("wrote %zu jobs to %s (%s) and %zu sites to %s\n",
+              workload.jobs.size(), out_jobs.c_str(),
+              workload.exec.has_matrix() ? "with raw ETC"
+                                         : "rank-1 work/speed",
+              workload.sites.size(), out_sites.c_str());
   return 0;
 }
 
@@ -153,21 +167,23 @@ int cmd_run(const util::Cli& cli) {
   }
 
   if (cli.has("trace") && cli.has("sites")) {
-    // Replay mode: explicit traces, direct engine drive.
-    const auto jobs = workload::read_jobs_file(*cli.get("trace"));
+    // Replay mode: explicit traces, direct engine drive. v2 traces carry
+    // the raw ETC matrix and replay it exactly; v1 traces fall back to
+    // the rank-1 work/speed model.
+    const workload::JobsTrace trace =
+        workload::read_jobs_trace_file(*cli.get("trace"));
     const auto sites = workload::read_sites_file(*cli.get("sites"));
     sim::EngineConfig config;
     config.batch_interval = cli.get_or("batch-interval", 2000.0);
     config.lambda = cli.get_or("lambda", security::kDefaultLambda);
     config.seed = seed;
     auto scheduler = spec.make(nullptr, seed);
-    // Trace files carry no ETC matrix, so replay always runs the rank-1
-    // work/speed model — a trace generated from a raw-ETC synth scenario
-    // will not reproduce the scenario run exactly.
-    std::fprintf(stderr,
-                 "note: trace replay uses the rank-1 work/speed execution "
-                 "model (trace files carry no ETC)\n");
-    sim::Engine engine(sites, jobs, config);
+    if (!trace.exec.has_matrix()) {
+      std::fprintf(stderr,
+                   "note: trace carries no ETC section; replay uses the "
+                   "rank-1 work/speed execution model\n");
+    }
+    sim::Engine engine(sites, trace.jobs, config, trace.exec);
     engine.run(*scheduler);
     print_metrics(scheduler->name(), metrics::compute_metrics(engine), csv);
     return 0;
@@ -185,13 +201,18 @@ int cmd_roster(const util::Cli& cli) {
   const auto reps =
       static_cast<std::size_t>(cli.get_or("reps", std::int64_t{1}));
   const exp::Scenario scenario = scenario_from(cli);
-  util::Table table({"algorithm", "makespan (s)", "response (s)", "slowdown",
-                     "N_fail", "N_risk"});
+  util::Table table({"algorithm", "makespan (s)", "±95% CI", "response (s)",
+                     "slowdown", "N_fail", "N_risk"});
   for (const auto& spec : exp::paper_roster(cli.get_or("f", 0.5))) {
     const auto result = exp::run_replicated(scenario, spec, reps, seed);
+    // Small-n-aware interval (Student's t): honest error bars at the
+    // 3-10 replications this subcommand is typically run with.
+    const util::Summary makespan =
+        util::summarize(result.aggregate.makespan());
     table.row()
         .cell(spec.name)
-        .cell(result.aggregate.makespan().mean(), 3)
+        .cell(makespan.mean, 3)
+        .cell(makespan.ci95, 3)
         .cell(result.aggregate.avg_response().mean(), 3)
         .cell(result.aggregate.slowdown().mean(), 2)
         .cell(result.aggregate.n_fail().mean(), 0)
@@ -199,6 +220,73 @@ int cmd_roster(const util::Cli& cli) {
     std::fflush(stdout);
   }
   std::printf("%s", table.str().c_str());
+  return 0;
+}
+
+int cmd_campaign(const util::Cli& cli) {
+  if (cli.positional().size() < 2) {
+    std::fprintf(stderr, "usage: gridsched_cli campaign SPEC.json "
+                         "[--threads=N] [--dry-run] [--out-json=F] "
+                         "[--out-csv=F] [--quiet]\n");
+    return 2;
+  }
+  const std::string spec_path = cli.positional()[1];
+  const exp::campaign::CampaignSpec spec = exp::campaign::load_spec(spec_path);
+
+  if (cli.get_or("dry-run", false)) {
+    // List the expanded run matrix: what would run, under which seed.
+    const auto cells = exp::campaign::expand(spec);
+    util::Table table({"cell", "scenario", "policy", "rep", "seed"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      char seed_hex[24];
+      std::snprintf(seed_hex, sizeof seed_hex, "0x%016llx",
+                    static_cast<unsigned long long>(cells[i].seed));
+      table.row()
+          .cell(i)
+          .cell(spec.scenarios[cells[i].scenario].display())
+          .cell(spec.policies[cells[i].policy].display())
+          .cell(cells[i].replication)
+          .cell(std::string(seed_hex));
+    }
+    std::printf("%s%zu cells (%zu scenarios x %zu policies x %zu reps)\n",
+                table.str().c_str(), cells.size(), spec.scenarios.size(),
+                spec.policies.size(), spec.replications);
+    return 0;
+  }
+
+  exp::campaign::RunnerOptions options;
+  const std::int64_t threads = cli.get_or("threads", std::int64_t{0});
+  if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
+  options.threads = static_cast<std::size_t>(threads);
+  const bool quiet = cli.get_or("quiet", false);
+  if (!quiet) {
+    options.on_cell = [](const exp::campaign::CellResult& cell, std::size_t done,
+                         std::size_t total) {
+      std::fprintf(stderr, "\r[%zu/%zu] cells done (last: makespan %.0f s)  ",
+                   done, total, cell.metrics.makespan);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+
+  exp::campaign::CampaignRunner runner(options);
+  const exp::campaign::CampaignResult result = runner.run(spec);
+
+  std::vector<std::unique_ptr<exp::campaign::Sink>> sinks;
+  if (!quiet) {
+    sinks.push_back(std::make_unique<exp::campaign::TableSink>(std::cout));
+  }
+  // The stable aggregate artifact is written by default (commit it like
+  // BENCH_ga_decode.json); --out-json= overrides the path.
+  sinks.push_back(std::make_unique<exp::campaign::JsonFileSink>(
+      cli.get_or("out-json", spec.name + "_campaign.json")));
+  if (const auto csv_path = cli.get("out-csv")) {
+    sinks.push_back(std::make_unique<exp::campaign::CsvFileSink>(*csv_path));
+  }
+  exp::campaign::emit(result, sinks);
+  if (!quiet) {
+    std::printf("wrote %s\n",
+                cli.get_or("out-json", spec.name + "_campaign.json").c_str());
+  }
   return 0;
 }
 
@@ -214,6 +302,7 @@ int main(int argc, char** argv) {
     if (command == "describe") return cmd_describe(cli);
     if (command == "run") return cmd_run(cli);
     if (command == "roster") return cmd_roster(cli);
+    if (command == "campaign") return cmd_campaign(cli);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -1,0 +1,107 @@
+#include "exp/campaign/campaign_aggregator.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace gridsched::exp::campaign {
+
+namespace {
+
+constexpr std::array<MetricDef, 7> kMetricDefs = {{
+    {"makespan", true,
+     [](const metrics::RunMetrics& run) { return run.makespan; }},
+    {"avg_response", true,
+     [](const metrics::RunMetrics& run) { return run.avg_response; }},
+    {"slowdown", true,
+     [](const metrics::RunMetrics& run) { return run.slowdown_ratio; }},
+    {"n_risk", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.n_risk);
+     }},
+    {"n_fail", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.n_fail);
+     }},
+    {"avg_utilization", true,
+     [](const metrics::RunMetrics& run) { return run.avg_utilization; }},
+    // Wall time inside schedule(): varies run to run, so it never enters
+    // the byte-stable JSON artifact.
+    {"scheduler_seconds", false,
+     [](const metrics::RunMetrics& run) { return run.scheduler_seconds; }},
+}};
+
+}  // namespace
+
+std::span<const MetricDef> metric_defs() { return kMetricDefs; }
+
+const MetricDef* find_metric(std::string_view key) {
+  for (const MetricDef& def : kMetricDefs) {
+    if (def.key == key) return &def;
+  }
+  return nullptr;
+}
+
+std::vector<const MetricDef*> resolve_metrics(const CampaignSpec& spec) {
+  std::vector<const MetricDef*> resolved;
+  for (const MetricDef& def : kMetricDefs) {
+    if (spec.metrics.empty()) {
+      if (def.deterministic) resolved.push_back(&def);
+      continue;
+    }
+    for (const std::string& key : spec.metrics) {
+      if (def.key == key) {
+        resolved.push_back(&def);
+        break;
+      }
+    }
+  }
+  return resolved;
+}
+
+CampaignAggregator::CampaignAggregator(const CampaignSpec& spec)
+    : spec_(spec), metrics_(resolve_metrics(spec_)) {
+  const std::size_t n_groups = spec.scenarios.size() * spec.policies.size();
+  stats_.resize(n_groups, std::vector<util::RunningStats>(metrics_.size()));
+  counts_.resize(n_groups, 0);
+}
+
+void CampaignAggregator::add(std::size_t scenario_index,
+                             std::size_t policy_index,
+                             const metrics::RunMetrics& run) {
+  if (scenario_index >= spec_.scenarios.size() ||
+      policy_index >= spec_.policies.size()) {
+    throw std::out_of_range("CampaignAggregator::add: cell outside the spec");
+  }
+  const std::size_t group =
+      scenario_index * spec_.policies.size() + policy_index;
+  for (std::size_t m = 0; m < metrics_.size(); ++m) {
+    stats_[group][m].add(metrics_[m]->value(run));
+  }
+  ++counts_[group];
+}
+
+std::vector<GroupSummary> CampaignAggregator::groups() const {
+  std::vector<GroupSummary> groups;
+  groups.reserve(stats_.size());
+  for (std::size_t s = 0; s < spec_.scenarios.size(); ++s) {
+    for (std::size_t p = 0; p < spec_.policies.size(); ++p) {
+      const std::size_t index = s * spec_.policies.size() + p;
+      GroupSummary group;
+      group.scenario = spec_.scenarios[s].display();
+      group.policy = spec_.policies[p].display();
+      group.cells = counts_[index];
+      group.metrics.reserve(metrics_.size());
+      for (std::size_t m = 0; m < metrics_.size(); ++m) {
+        MetricSummary summary;
+        summary.key = std::string(metrics_[m]->key);
+        summary.deterministic = metrics_[m]->deterministic;
+        summary.summary = util::summarize(stats_[index][m]);
+        group.metrics.push_back(std::move(summary));
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+  return groups;
+}
+
+}  // namespace gridsched::exp::campaign

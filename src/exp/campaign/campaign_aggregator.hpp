@@ -1,0 +1,73 @@
+// Statistical reduction of a campaign's cell results: per (scenario,
+// policy) group, each requested metric is reduced to count / mean /
+// sample stddev / t-distribution 95% CI via util::summarize. Cells are
+// fed in matrix order after the shard fan-out completes, so aggregates
+// are byte-stable regardless of thread count or completion order.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/campaign/campaign_spec.hpp"
+#include "metrics/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace gridsched::exp::campaign {
+
+/// A reportable scalar derived from one run's metrics. `deterministic`
+/// marks metrics that are pure functions of (scenario, policy, seed);
+/// wall-clock metrics (scheduler_seconds) are excluded from the stable
+/// JSON artifact and only appear in table/CSV output when requested.
+struct MetricDef {
+  std::string_view key;
+  bool deterministic;
+  double (*value)(const metrics::RunMetrics&);
+};
+
+/// All known metrics, in canonical report order.
+std::span<const MetricDef> metric_defs();
+
+/// Lookup by key; nullptr when unknown.
+const MetricDef* find_metric(std::string_view key);
+
+/// The spec's requested metrics resolved to defs (empty request = all
+/// deterministic metrics), in canonical order.
+std::vector<const MetricDef*> resolve_metrics(const CampaignSpec& spec);
+
+struct MetricSummary {
+  std::string key;
+  bool deterministic = true;
+  util::Summary summary;
+};
+
+struct GroupSummary {
+  std::string scenario;  ///< scenario display label
+  std::string policy;    ///< policy display label
+  std::size_t cells = 0;
+  std::vector<MetricSummary> metrics;  ///< canonical order
+};
+
+class CampaignAggregator {
+ public:
+  explicit CampaignAggregator(const CampaignSpec& spec);
+
+  /// Accumulate one cell. Call in matrix order for stable output.
+  void add(std::size_t scenario_index, std::size_t policy_index,
+           const metrics::RunMetrics& run);
+
+  /// Scenario-major, policy-minor group summaries.
+  [[nodiscard]] std::vector<GroupSummary> groups() const;
+
+ private:
+  /// By value: binding a caller's temporary must not dangle, and the
+  /// aggregator outlives the runner's local state in some call shapes.
+  CampaignSpec spec_;
+  std::vector<const MetricDef*> metrics_;
+  /// groups_[scenario * n_policies + policy][metric]
+  std::vector<std::vector<util::RunningStats>> stats_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace gridsched::exp::campaign

@@ -1,0 +1,113 @@
+#include "exp/campaign/campaign_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "exp/runner.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gridsched::exp::campaign {
+
+std::uint64_t cell_seed(const CampaignSpec& spec, std::size_t scenario_index,
+                        std::size_t policy_index, std::size_t replication) {
+  return util::SeedMix(spec.seed)
+      .mix(spec.scenarios[scenario_index].display())
+      .mix(spec.policies[policy_index].display())
+      .mix(static_cast<std::uint64_t>(replication))
+      .seed();
+}
+
+std::vector<Cell> expand(const CampaignSpec& spec) {
+  spec.validate();
+  std::vector<Cell> cells;
+  cells.reserve(spec.scenarios.size() * spec.policies.size() *
+                spec.replications);
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      for (std::size_t r = 0; r < spec.replications; ++r) {
+        Cell cell;
+        cell.scenario = s;
+        cell.policy = p;
+        cell.replication = r;
+        cell.seed = cell_seed(spec, s, p, r);
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+CampaignRunner::CampaignRunner(RunnerOptions options)
+    : options_(std::move(options)) {}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
+  CampaignResult result;
+  result.spec = spec;
+  const std::vector<Cell> cells = expand(spec);  // validates
+
+  // Resolve both axes once up front: registry lookups throw here (before
+  // any simulation) and the factories are shared by all cells.
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(spec.scenarios.size());
+  for (const ScenarioRef& ref : spec.scenarios) {
+    scenarios.push_back(ref.resolve());
+  }
+  std::vector<AlgorithmSpec> algorithms;
+  algorithms.reserve(spec.policies.size());
+  for (const PolicyRef& ref : spec.policies) {
+    algorithms.push_back(ref.resolve());
+  }
+
+  result.cells.resize(cells.size());
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  auto run_cell = [&](std::size_t i) {
+    CellResult& out = result.cells[i];
+    out.cell = cells[i];
+    // GA fitness stays serial inside each cell: the pool's workers are
+    // busy running cells and must not block on nested waits — and serial
+    // evaluation keeps the cell a pure function of its seed.
+    out.metrics = run_once(scenarios[cells[i].scenario],
+                           algorithms[cells[i].policy], cells[i].seed,
+                           /*ga_pool=*/nullptr);
+    if (options_.on_cell) {
+      const std::lock_guard lock(progress_mutex);
+      options_.on_cell(out, ++done, cells.size());
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, cells.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) run_cell(i);
+    threads = 1;
+  } else {
+    util::ThreadPool pool(threads);
+    // One chunk per cell: cell costs span orders of magnitude, so
+    // anything coarser serialises the tail behind the slowest chunk.
+    pool.parallel_for(cells.size(), run_cell, cells.size());
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.threads = threads;
+
+  // Aggregate in matrix order — never completion order — so the summary
+  // floats are bit-identical for any thread count.
+  CampaignAggregator aggregator(result.spec);
+  for (const CellResult& cell : result.cells) {
+    aggregator.add(cell.cell.scenario, cell.cell.policy, cell.metrics);
+    result.jobs_simulated += cell.metrics.n_jobs;
+  }
+  result.groups = aggregator.groups();
+  return result;
+}
+
+}  // namespace gridsched::exp::campaign

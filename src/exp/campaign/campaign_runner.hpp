@@ -1,0 +1,87 @@
+// Campaign execution: expand a CampaignSpec into its flat
+// {scenario x policy x replication} run matrix, shard the cells across a
+// thread pool (one task per cell — GA cells run ~100x longer than
+// heuristic cells, so fine-grained tasks keep the pool busy), and reduce
+// the results with CampaignAggregator.
+//
+// Determinism contract: every cell gets its own RNG stream with
+//   seed = SeedMix(spec.seed).mix(scenario label).mix(policy label)
+//                            .mix(replication)
+// and runs with GA fitness evaluation serial inside the cell, so cell
+// results — and therefore the aggregate JSON artifact — are byte-identical
+// for any --threads value and any execution order. Wall-clock fields
+// (CampaignResult::wall_seconds and friends) are the only exception and
+// never enter the artifact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "exp/campaign/campaign_aggregator.hpp"
+#include "exp/campaign/campaign_spec.hpp"
+#include "metrics/metrics.hpp"
+
+namespace gridsched::exp::campaign {
+
+/// One run of the campaign matrix, in scenario-major, policy-minor,
+/// replication-innermost order.
+struct Cell {
+  std::size_t scenario = 0;     ///< index into spec.scenarios
+  std::size_t policy = 0;       ///< index into spec.policies
+  std::size_t replication = 0;  ///< [0, spec.replications)
+  std::uint64_t seed = 0;       ///< deterministic per-cell stream
+};
+
+/// Per-cell seed; depends only on (spec seed, labels, replication) — never
+/// on axis indices, so inserting a scenario does not reseed the others.
+std::uint64_t cell_seed(const CampaignSpec& spec, std::size_t scenario_index,
+                        std::size_t policy_index, std::size_t replication);
+
+/// The flat run matrix (validates the spec first).
+std::vector<Cell> expand(const CampaignSpec& spec);
+
+struct CellResult {
+  Cell cell;
+  metrics::RunMetrics metrics;
+};
+
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<CellResult> cells;      ///< matrix order
+  std::vector<GroupSummary> groups;   ///< scenario-major aggregate
+
+  /// Wall-clock throughput (non-deterministic; table output only).
+  double wall_seconds = 0.0;
+  std::size_t threads = 1;
+  std::size_t jobs_simulated = 0;
+  [[nodiscard]] double cells_per_second() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(cells.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+struct RunnerOptions {
+  /// Worker threads for the cell fan-out; 0 = hardware_concurrency,
+  /// 1 = run serially on the caller.
+  std::size_t threads = 0;
+  /// Progress hook, invoked per finished cell in completion order under
+  /// an internal mutex (callbacks need no locking of their own).
+  std::function<void(const CellResult&, std::size_t done, std::size_t total)>
+      on_cell;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(RunnerOptions options = {});
+
+  /// Run the full matrix and aggregate. Throws std::invalid_argument on
+  /// an invalid spec; exceptions from cells propagate.
+  CampaignResult run(const CampaignSpec& spec);
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace gridsched::exp::campaign

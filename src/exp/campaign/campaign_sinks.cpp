@@ -1,0 +1,182 @@
+#include "exp/campaign/campaign_sinks.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace gridsched::exp::campaign {
+
+namespace {
+
+std::string format_mean_ci(const util::Summary& summary) {
+  char buffer[64];
+  if (summary.count < 2) {
+    std::snprintf(buffer, sizeof buffer, "%.6g", summary.mean);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.6g ±%.3g", summary.mean,
+                  summary.ci95);
+  }
+  return buffer;
+}
+
+std::string hex_seed(std::uint64_t seed) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  return buffer;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create file: " + path);
+  out << content;
+  if (!out.good()) throw std::runtime_error("failed writing file: " + path);
+}
+
+}  // namespace
+
+std::string render_table(const CampaignResult& result) {
+  std::vector<std::string> headers = {"scenario", "policy", "cells"};
+  const std::vector<const MetricDef*> metrics = resolve_metrics(result.spec);
+  for (const MetricDef* def : metrics) {
+    headers.emplace_back(std::string(def->key) + " (mean ±95% CI)");
+  }
+  util::Table table(std::move(headers));
+  for (const GroupSummary& group : result.groups) {
+    table.row().cell(group.scenario).cell(group.policy).cell(group.cells);
+    for (const MetricSummary& metric : group.metrics) {
+      table.cell(format_mean_ci(metric.summary));
+    }
+  }
+  std::ostringstream out;
+  out << table.str();
+  char footer[160];
+  std::snprintf(footer, sizeof footer,
+                "%zu cells (%zu jobs) in %.2f s on %zu threads — %.1f "
+                "cells/s\n",
+                result.cells.size(), result.jobs_simulated,
+                result.wall_seconds, result.threads,
+                result.cells_per_second());
+  out << footer;
+  return out.str();
+}
+
+std::string render_csv(const CampaignResult& result) {
+  util::Table table(
+      {"scenario", "policy", "metric", "count", "mean", "stddev", "ci95"});
+  for (const GroupSummary& group : result.groups) {
+    for (const MetricSummary& metric : group.metrics) {
+      table.row()
+          .cell(group.scenario)
+          .cell(group.policy)
+          .cell(metric.key)
+          .cell(metric.summary.count)
+          .cell(metric.summary.mean, 9)
+          .cell(metric.summary.stddev, 9)
+          .cell(metric.summary.ci95, 9);
+    }
+  }
+  return table.csv();
+}
+
+std::string render_json(const CampaignResult& result) {
+  using util::json::number;
+  using util::json::quote;
+  const std::vector<const MetricDef*> metrics = resolve_metrics(result.spec);
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"campaign\": " << quote(result.spec.name) << ",\n";
+  // uint64 seeds exceed double precision; emit exact integer text (spec
+  // seed) / hex strings (cell seeds) rather than rounding through number().
+  out << "  \"seed\": " << result.spec.seed << ",\n";
+  out << "  \"replications\": " << result.spec.replications << ",\n";
+
+  out << "  \"scenarios\": [";
+  for (std::size_t s = 0; s < result.spec.scenarios.size(); ++s) {
+    out << (s ? ", " : "") << quote(result.spec.scenarios[s].display());
+  }
+  out << "],\n";
+  out << "  \"policies\": [";
+  for (std::size_t p = 0; p < result.spec.policies.size(); ++p) {
+    out << (p ? ", " : "") << quote(result.spec.policies[p].display());
+  }
+  out << "],\n";
+  out << "  \"metrics\": [";
+  bool first = true;
+  for (const MetricDef* def : metrics) {
+    if (!def->deterministic) continue;  // stability contract
+    out << (first ? "" : ", ") << quote(def->key);
+    first = false;
+  }
+  out << "],\n";
+
+  out << "  \"groups\": [\n";
+  for (std::size_t g = 0; g < result.groups.size(); ++g) {
+    const GroupSummary& group = result.groups[g];
+    out << "    {\n";
+    out << "      \"scenario\": " << quote(group.scenario) << ",\n";
+    out << "      \"policy\": " << quote(group.policy) << ",\n";
+    out << "      \"cells\": " << group.cells << ",\n";
+    out << "      \"metrics\": {";
+    first = true;
+    for (const MetricSummary& metric : group.metrics) {
+      if (!metric.deterministic) continue;
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "        " << quote(metric.key) << ": {\"count\": "
+          << metric.summary.count << ", \"mean\": "
+          << number(metric.summary.mean) << ", \"stddev\": "
+          << number(metric.summary.stddev) << ", \"ci95\": "
+          << number(metric.summary.ci95) << "}";
+    }
+    out << (first ? "" : "\n      ") << "}\n";
+    out << "    }" << (g + 1 < result.groups.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    out << "    {\"scenario\": "
+        << quote(result.spec.scenarios[cell.cell.scenario].display())
+        << ", \"policy\": "
+        << quote(result.spec.policies[cell.cell.policy].display())
+        << ", \"replication\": " << cell.cell.replication
+        << ", \"seed\": " << quote(hex_seed(cell.cell.seed));
+    for (const MetricDef* def : metrics) {
+      if (!def->deterministic) continue;
+      out << ", " << quote(def->key) << ": "
+          << number(def->value(cell.metrics));
+    }
+    out << "}" << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+void TableSink::consume(const CampaignResult& result) {
+  out_ << render_table(result);
+  out_.flush();
+}
+
+void CsvFileSink::consume(const CampaignResult& result) {
+  write_file(path_, render_csv(result));
+}
+
+void JsonFileSink::consume(const CampaignResult& result) {
+  write_file(path_, render_json(result));
+}
+
+void emit(const CampaignResult& result,
+          std::span<const std::unique_ptr<Sink>> sinks) {
+  for (const auto& sink : sinks) sink->consume(result);
+}
+
+}  // namespace gridsched::exp::campaign

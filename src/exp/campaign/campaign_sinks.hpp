@@ -1,0 +1,73 @@
+// Campaign result rendering: a pretty util::Table summary, long-format
+// CSV (one row per group x metric — tidy data for plotting), and a
+// byte-stable JSON artifact suitable for committing next to the bench
+// JSON. The renderers are pure functions of the result; the Sink
+// interface adapts them to streams/files so callers can fan one campaign
+// out to several destinations.
+//
+// Stability contract: render_json() emits only deterministic fields —
+// spec echo, per-group aggregates of deterministic metrics, per-cell
+// seeds — with doubles in shortest-exact form. Two runs of the same spec
+// produce byte-identical JSON regardless of thread count. Wall-clock
+// throughput appears in render_table() only.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "exp/campaign/campaign_runner.hpp"
+
+namespace gridsched::exp::campaign {
+
+/// Aligned summary table plus a wall-clock/throughput footer.
+std::string render_table(const CampaignResult& result);
+
+/// Long-format CSV: scenario,policy,metric,count,mean,stddev,ci95.
+std::string render_csv(const CampaignResult& result);
+
+/// Stable JSON artifact (deterministic fields only; trailing newline).
+std::string render_json(const CampaignResult& result);
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void consume(const CampaignResult& result) = 0;
+};
+
+/// Writes render_table to a stream the caller keeps alive.
+class TableSink final : public Sink {
+ public:
+  explicit TableSink(std::ostream& out) : out_(out) {}
+  void consume(const CampaignResult& result) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Writes render_csv / render_json to a file (created/truncated on
+/// consume; throws std::runtime_error when the file cannot be written).
+class CsvFileSink final : public Sink {
+ public:
+  explicit CsvFileSink(std::string path) : path_(std::move(path)) {}
+  void consume(const CampaignResult& result) override;
+
+ private:
+  std::string path_;
+};
+
+class JsonFileSink final : public Sink {
+ public:
+  explicit JsonFileSink(std::string path) : path_(std::move(path)) {}
+  void consume(const CampaignResult& result) override;
+
+ private:
+  std::string path_;
+};
+
+/// Feed one result to every sink.
+void emit(const CampaignResult& result,
+          std::span<const std::unique_ptr<Sink>> sinks);
+
+}  // namespace gridsched::exp::campaign

@@ -161,25 +161,28 @@ std::string scenario_description(const std::string& name) {
 
 Scenario make_scenario(const std::string& name, std::size_t n_jobs) {
   Scenario scenario = find_entry(name).make();
-  if (n_jobs > 0) {
-    switch (scenario.kind) {
-      case ScenarioKind::kNas: {
-        // Scale the horizon with the job count (constant offered load)
-        // in place, preserving any other per-entry customisation.
-        scenario.nas.horizon *= static_cast<double>(n_jobs) /
-                                static_cast<double>(scenario.nas.n_jobs);
-        scenario.nas.n_jobs = n_jobs;
-        break;
-      }
-      case ScenarioKind::kPsa:
-        scenario.psa.n_jobs = n_jobs;
-        break;
-      case ScenarioKind::kSynth:
-        scenario.synth.n_jobs = n_jobs;
-        break;
-    }
-  }
+  override_jobs(scenario, n_jobs);
   return scenario;
+}
+
+void override_jobs(Scenario& scenario, std::size_t n_jobs) {
+  if (n_jobs == 0) return;
+  switch (scenario.kind) {
+    case ScenarioKind::kNas: {
+      // Scale the horizon with the job count (constant offered load)
+      // in place, preserving any other per-entry customisation.
+      scenario.nas.horizon *= static_cast<double>(n_jobs) /
+                              static_cast<double>(scenario.nas.n_jobs);
+      scenario.nas.n_jobs = n_jobs;
+      break;
+    }
+    case ScenarioKind::kPsa:
+      scenario.psa.n_jobs = n_jobs;
+      break;
+    case ScenarioKind::kSynth:
+      scenario.synth.n_jobs = n_jobs;
+      break;
+  }
 }
 
 }  // namespace gridsched::exp

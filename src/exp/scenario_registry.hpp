@@ -22,4 +22,9 @@ std::string scenario_description(const std::string& name);
 /// std::invalid_argument for unknown names, listing the valid ones.
 Scenario make_scenario(const std::string& name, std::size_t n_jobs = 0);
 
+/// Apply a job-count override to an already-built scenario (0 is a no-op).
+/// NAS scales its horizon with the job count (constant offered load);
+/// shared by make_scenario and campaign ScenarioRef overrides.
+void override_jobs(Scenario& scenario, std::size_t n_jobs);
+
 }  // namespace gridsched::exp

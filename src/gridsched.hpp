@@ -9,6 +9,10 @@
 #include "core/ga_scheduler.hpp"    // IWYU pragma: export
 #include "core/history.hpp"         // IWYU pragma: export
 #include "core/operators.hpp"       // IWYU pragma: export
+#include "exp/campaign/campaign_aggregator.hpp" // IWYU pragma: export
+#include "exp/campaign/campaign_runner.hpp"     // IWYU pragma: export
+#include "exp/campaign/campaign_sinks.hpp"      // IWYU pragma: export
+#include "exp/campaign/campaign_spec.hpp"       // IWYU pragma: export
 #include "exp/roster.hpp"           // IWYU pragma: export
 #include "exp/runner.hpp"           // IWYU pragma: export
 #include "exp/scenario.hpp"         // IWYU pragma: export
@@ -23,6 +27,7 @@
 #include "sim/engine.hpp"           // IWYU pragma: export
 #include "sim/scheduling.hpp"       // IWYU pragma: export
 #include "util/cli.hpp"             // IWYU pragma: export
+#include "util/json.hpp"            // IWYU pragma: export
 #include "util/rng.hpp"             // IWYU pragma: export
 #include "util/stats.hpp"           // IWYU pragma: export
 #include "util/table.hpp"           // IWYU pragma: export

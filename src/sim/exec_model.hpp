@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -37,6 +38,12 @@ class ExecModel {
   }
   [[nodiscard]] std::size_t matrix_sites() const noexcept {
     return matrix_ ? matrix_->n_sites : 0;
+  }
+  /// The raw row-major cells when a matrix is attached (for serialization
+  /// and diagnostics); empty span otherwise.
+  [[nodiscard]] std::span<const double> matrix_cells() const noexcept {
+    return matrix_ ? std::span<const double>(matrix_->cells)
+                   : std::span<const double>();
   }
 
   /// Execution time of `job` on `site`. `work` and `speed` feed the rank-1

@@ -1,0 +1,432 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace gridsched::util::json {
+
+Value::Value(Array items)
+    : kind_(Kind::kArray),
+      array_(std::make_shared<const Array>(std::move(items))) {}
+
+Value::Value(Members members)
+    : kind_(Kind::kObject),
+      members_(std::make_shared<const Members>(std::move(members))) {}
+
+std::string_view Value::kind_name(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void type_error(Value::Kind wanted, Value::Kind got) {
+  throw std::runtime_error(std::string("json: expected ") +
+                           std::string(Value::kind_name(wanted)) + ", got " +
+                           std::string(Value::kind_name(got)));
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) type_error(Kind::kBool, kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  return number_;
+}
+
+namespace {
+
+/// True when a parsed number's source token is plain decimal (no
+/// fraction/exponent) — recoverable exactly even past double's 2^53 range.
+bool is_plain_integer_token(const std::string& token) {
+  return !token.empty() &&
+         token.find_first_of(".eE") == std::string::npos;
+}
+
+}  // namespace
+
+std::int64_t Value::as_int() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  if (is_plain_integer_token(string_)) {
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(string_.c_str(), &end, 10);
+    if (errno == ERANGE || *end != '\0') {
+      throw std::runtime_error("json: integer out of int64 range: " + string_);
+    }
+    return parsed;
+  }
+  // Programmatic or fraction/exponent-form numbers go through the double.
+  const double n = number_;
+  if (n != std::floor(n) || n < -9.007199254740992e15 ||
+      n > 9.007199254740992e15) {  // beyond 2^53 a double can't prove exactness
+    throw std::runtime_error("json: expected integer, got " + number(n));
+  }
+  return static_cast<std::int64_t>(n);
+}
+
+std::uint64_t Value::as_uint() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  if (is_plain_integer_token(string_)) {
+    if (string_.front() == '-') {
+      throw std::runtime_error("json: expected non-negative integer, got " +
+                               string_);
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(string_.c_str(), &end, 10);
+    if (errno == ERANGE || *end != '\0') {
+      throw std::runtime_error("json: integer out of uint64 range: " + string_);
+    }
+    return parsed;
+  }
+  const std::int64_t n = as_int();
+  if (n < 0) {
+    throw std::runtime_error("json: expected non-negative integer, got " +
+                             std::to_string(n));
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) type_error(Kind::kString, kind_);
+  return string_;
+}
+
+const Array& Value::items() const {
+  if (kind_ != Kind::kArray) type_error(Kind::kArray, kind_);
+  return *array_;
+}
+
+const Members& Value::members() const {
+  if (kind_ != Kind::kObject) type_error(Kind::kObject, kind_);
+  return *members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* value = find(key);
+  if (value == nullptr) {
+    throw std::runtime_error("json: missing key \"" + std::string(key) + "\"");
+  }
+  return *value;
+}
+
+namespace {
+
+/// Strict recursive-descent parser over a string_view, tracking line and
+/// column for error messages. Depth-limited to keep adversarial inputs
+/// from overflowing the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw std::runtime_error("json parse error at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(column) + ": " + what);
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_whitespace() noexcept {
+    while (!at_end()) {
+      const char ch = peek();
+      if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char ch) {
+    if (at_end() || peek() != ch) {
+      fail(std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char ch) noexcept {
+    if (!at_end() && peek() == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      fail("invalid literal (expected " + std::string(literal) + ")");
+    }
+    pos_ += literal.size();
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't': expect_literal("true"); return Value(true);
+      case 'f': expect_literal("false"); return Value(false);
+      case 'n': expect_literal("null"); return Value();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Members members;
+    skip_whitespace();
+    if (consume('}')) return Value(std::move(members));
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      for (const auto& [existing, value] : members) {
+        if (existing == key) fail("duplicate object key \"" + key + "\"");
+      }
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (consume(',')) continue;
+      expect('}');
+      return Value(std::move(members));
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Array items;
+    skip_whitespace();
+    if (consume(']')) return Value(std::move(items));
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (consume(',')) continue;
+      expect(']');
+      return Value(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') return out;
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (at_end()) fail("unterminated escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (at_end()) fail("truncated \\u escape");
+      const char ch = text_[pos_++];
+      code <<= 4;
+      if (ch >= '0' && ch <= '9') {
+        code |= static_cast<std::uint32_t>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        code |= static_cast<std::uint32_t>(ch - 'a' + 10);
+      } else if (ch >= 'A' && ch <= 'F') {
+        code |= static_cast<std::uint32_t>(ch - 'A' + 10);
+      } else {
+        fail("invalid \\u escape digit");
+      }
+    }
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (!consume('\\') || !consume('u')) fail("unpaired surrogate");
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    consume('-');
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+    }
+    if (peek() == '0') {
+      ++pos_;  // leading zero admits no further integer digits
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (consume('.')) {
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required after decimal point");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required in exponent");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    // The grammar above admits exactly what strtod parses; null-terminate
+    // via a local copy since string_view is not guaranteed terminated.
+    std::string token(text_.substr(start, pos_ - start));
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) fail("number out of range");
+    // Keep the token: integers beyond 2^53 survive as_int/as_uint exactly.
+    return Value(value, std::move(token));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open JSON file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse(buffer.str());
+  } catch (const std::exception& error) {
+    throw std::runtime_error(path + ": " + error.what());
+  }
+}
+
+std::string quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buffer;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string number(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("json::number: non-finite value");
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buffer[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+}  // namespace gridsched::util::json

@@ -1,0 +1,97 @@
+// Dependency-free JSON reading and writing for experiment specs and
+// result artifacts. The reader is a strict recursive-descent parser
+// (RFC 8259 subset: no comments, no trailing commas, duplicate object
+// keys rejected) that reports line:column positions on malformed input.
+// The writer produces *stable* output — object keys in the order the
+// caller emits them, doubles via shortest-exact %.17g — so artifacts are
+// byte-identical across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridsched::util::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Object members in document order (specs read naturally, artifacts
+/// render deterministically).
+using Members = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() noexcept : kind_(Kind::kNull) {}
+  explicit Value(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) noexcept : kind_(Kind::kNumber), number_(n) {}
+  /// Parser-internal: a number plus its source token, so as_int/as_uint
+  /// can recover integers beyond double's 2^53 exact range (uint64 seeds).
+  Value(double n, std::string token)
+      : kind_(Kind::kNumber), number_(n), string_(std::move(token)) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array items);
+  explicit Value(Members members);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::runtime_error naming the actual kind on
+  /// mismatch so spec errors read well ("expected number, got string").
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  /// as_number() narrowed; throws when the value is not integral or out
+  /// of range for int64.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& items() const;
+  [[nodiscard]] const Members& members() const;
+
+  /// Object lookup: find() returns nullptr when absent, at() throws.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+  /// Human-readable kind name ("object", "number", ...).
+  [[nodiscard]] static std::string_view kind_name(Kind kind) noexcept;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  /// Indirect so Value stays declarable before Array/Members are complete.
+  std::shared_ptr<const Array> array_;
+  std::shared_ptr<const Members> members_;
+};
+
+/// Parse a complete JSON document; throws std::runtime_error with a
+/// "json parse error at line L, column C: ..." message on malformed input
+/// (including trailing content after the top-level value).
+Value parse(std::string_view text);
+
+/// Parse a JSON file; errors are prefixed with the path.
+Value parse_file(const std::string& path);
+
+/// Stable serialization helpers for hand-built artifacts.
+
+/// JSON string literal with quotes, escaping per RFC 8259.
+std::string quote(std::string_view text);
+
+/// Shortest exact double representation (round-trips bit-exactly, stable
+/// byte output for a given bit pattern). Non-finite values throw —
+/// JSON has no encoding for them and artifacts must not silently rewrite
+/// them to null.
+std::string number(double value);
+
+}  // namespace gridsched::util::json

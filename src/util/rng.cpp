@@ -10,6 +10,8 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 }
 }  // namespace
 
+Rng SeedMix::rng() const noexcept { return Rng(seed()); }
+
 Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
   SplitMix64 mix(seed);
   for (auto& word : s_) word = mix.next();

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <limits>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace gridsched::util {
@@ -28,6 +29,57 @@ class SplitMix64 {
   }
 
  private:
+  std::uint64_t state_;
+};
+
+class Rng;
+
+/// Deterministic 64-bit seed derivation from a master seed and an ordered
+/// sequence of mixed-in coordinates (integers and/or strings). Each mix is
+/// a full SplitMix64-style avalanche, so adjacent coordinates land far
+/// apart and order matters: mix(1).mix(2) != mix(2).mix(1). This is the
+/// canonical replacement for ad-hoc `seed + i` stream derivation in sweep
+/// and bench loops — and the campaign layer's per-cell seeding
+/// (seed = SeedMix(spec_seed).mix(scenario).mix(policy).mix(rep)), which
+/// makes cell results independent of shard order and thread count.
+class SeedMix {
+ public:
+  explicit constexpr SeedMix(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr SeedMix& mix(std::uint64_t value) noexcept {
+    state_ = avalanche(state_ ^ (value + 0x9e3779b97f4a7c15ULL));
+    return *this;
+  }
+
+  /// Strings hash as FNV-1a(bytes) then length, so "ab","c" and "a","bc"
+  /// derive different seeds.
+  constexpr SeedMix& mix(std::string_view text) noexcept {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char ch : text) {
+      hash ^= static_cast<unsigned char>(ch);
+      hash *= 0x100000001b3ULL;
+    }
+    mix(hash);
+    return mix(text.size());
+  }
+
+  /// Finalized seed (state through one more avalanche, so a bare
+  /// SeedMix(s).seed() already decorrelates adjacent master seeds).
+  [[nodiscard]] constexpr std::uint64_t seed() const noexcept {
+    return avalanche(state_);
+  }
+
+  /// Generator seeded with seed().
+  [[nodiscard]] Rng rng() const noexcept;
+
+ private:
+  /// SplitMix64 finalizer: bijective, full avalanche.
+  static constexpr std::uint64_t avalanche(std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
   std::uint64_t state_;
 };
 

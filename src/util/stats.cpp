@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
 
 namespace gridsched::util {
@@ -47,6 +48,11 @@ double RunningStats::ci95_halfwidth() const noexcept {
   return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
 }
 
+double RunningStats::ci95_halfwidth_t() const noexcept {
+  if (n_ < 2) return 0.0;
+  return t_critical_95(n_ - 1) * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
 double percentile(std::span<const double> sample, double q) {
   if (sample.empty()) {
     // A silent 0.0 here once masked empty-sample reporting bugs; the
@@ -73,6 +79,52 @@ double stddev_of(std::span<const double> sample) {
   RunningStats stats;
   for (const double x : sample) stats.add(x);
   return stats.stddev();
+}
+
+double t_critical_95(std::size_t dof) {
+  if (dof == 0) {
+    throw std::invalid_argument("t_critical_95: dof must be >= 1");
+  }
+  // 0.975 quantiles of Student's t (standard tables), exact for dof <= 30.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (dof <= 30) return kTable[dof - 1];
+  // Piecewise-linear through the classic anchor rows down to z.
+  struct Anchor {
+    double dof;
+    double t;
+  };
+  static constexpr Anchor kAnchors[] = {
+      {30.0, 2.042}, {40.0, 2.021}, {60.0, 2.000}, {120.0, 1.980}};
+  const auto d = static_cast<double>(dof);
+  for (std::size_t i = 0; i + 1 < std::size(kAnchors); ++i) {
+    if (d <= kAnchors[i + 1].dof) {
+      const double frac =
+          (d - kAnchors[i].dof) / (kAnchors[i + 1].dof - kAnchors[i].dof);
+      return kAnchors[i].t + frac * (kAnchors[i + 1].t - kAnchors[i].t);
+    }
+  }
+  return 1.96;
+}
+
+Summary summarize(std::span<const double> sample) {
+  if (sample.empty()) {
+    throw std::invalid_argument("summarize: empty sample");
+  }
+  RunningStats stats;
+  for (const double x : sample) stats.add(x);
+  return summarize(stats);
+}
+
+Summary summarize(const RunningStats& stats) noexcept {
+  Summary summary;
+  summary.count = stats.count();
+  summary.mean = stats.mean();
+  summary.stddev = stats.stddev();
+  summary.ci95 = stats.ci95_halfwidth_t();
+  return summary;
 }
 
 }  // namespace gridsched::util

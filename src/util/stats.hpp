@@ -23,6 +23,11 @@ class RunningStats {
   [[nodiscard]] double stddev() const noexcept;
   /// Half-width of an approximate 95% confidence interval (normal z=1.96).
   [[nodiscard]] double ci95_halfwidth() const noexcept;
+  /// Half-width of a small-n-aware 95% confidence interval using the
+  /// Student's t critical value for n-1 degrees of freedom. This is what
+  /// replication counts of 3-10 actually need — the z interval is ~2x too
+  /// narrow at n=3. 0 for n < 2.
+  [[nodiscard]] double ci95_halfwidth_t() const noexcept;
 
  private:
   std::size_t n_ = 0;
@@ -43,5 +48,28 @@ double mean_of(std::span<const double> sample);
 
 /// Sample standard deviation (n-1; 0 for n < 2).
 double stddev_of(std::span<const double> sample);
+
+/// Two-sided 95% critical value of Student's t with `dof` degrees of
+/// freedom (the 0.975 quantile): exact to 3 decimals for dof <= 30,
+/// piecewise-interpolated to the normal limit 1.96 beyond. Requires
+/// dof >= 1 (throws std::invalid_argument otherwise).
+double t_critical_95(std::size_t dof);
+
+/// Batch summary of a sample: count, mean, sample stddev and the t-aware
+/// 95% CI half-width. The aggregation surface the campaign layer reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< n-1 denominator; 0 for count < 2
+  double ci95 = 0.0;     ///< t-distribution half-width; 0 for count < 2
+};
+
+/// Summarize a sample / accumulator. The span overload throws
+/// std::invalid_argument on an empty sample (same policy as percentile —
+/// empty summaries masked reporting bugs); the RunningStats overload
+/// returns a zero Summary for an empty accumulator since callers already
+/// hold the count.
+Summary summarize(std::span<const double> sample);
+Summary summarize(const RunningStats& stats) noexcept;
 
 }  // namespace gridsched::util

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -37,27 +38,84 @@ bool is_skippable(const std::string& line) {
 
 }  // namespace
 
-void write_jobs(std::ostream& out, const std::vector<sim::Job>& jobs) {
+void write_jobs(std::ostream& out, const std::vector<sim::Job>& jobs,
+                const sim::ExecModel& exec) {
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  out << "; gridsched job trace v1\n";
+  out << "; gridsched job trace v2\n";
   out << "; id arrival work nodes demand\n";
   for (const sim::Job& job : jobs) {
     out << job.id << ' ' << job.arrival << ' ' << job.work << ' ' << job.nodes
         << ' ' << job.demand << '\n';
   }
+  if (!exec.has_matrix()) return;
+  if (exec.matrix_jobs() != jobs.size()) {
+    throw std::runtime_error("write_jobs: ETC matrix covers " +
+                             std::to_string(exec.matrix_jobs()) +
+                             " jobs but the trace has " +
+                             std::to_string(jobs.size()));
+  }
+  const std::size_t n_sites = exec.matrix_sites();
+  const std::span<const double> cells = exec.matrix_cells();
+  out << ";etc v1 " << exec.matrix_jobs() << ' ' << n_sites << '\n';
+  for (std::size_t j = 0; j < exec.matrix_jobs(); ++j) {
+    out << ";etc-row " << j;
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      out << ' ' << cells[j * n_sites + s];
+    }
+    out << '\n';
+  }
 }
 
-void write_jobs_file(const std::string& path, const std::vector<sim::Job>& jobs) {
+void write_jobs_file(const std::string& path, const std::vector<sim::Job>& jobs,
+                     const sim::ExecModel& exec) {
   auto out = open_output(path);
-  write_jobs(out, jobs);
+  write_jobs(out, jobs, exec);
 }
 
-std::vector<sim::Job> read_jobs(std::istream& in) {
-  std::vector<sim::Job> jobs;
+JobsTrace read_jobs_trace(std::istream& in) {
+  JobsTrace trace;
   std::string line;
   std::size_t line_no = 0;
+  // ";etc" section state: dimensions from the header line, rows required
+  // in job order (the row index makes truncation/reordering detectable).
+  bool have_etc = false;
+  std::size_t etc_jobs = 0;
+  std::size_t etc_sites = 0;
+  std::size_t etc_rows_read = 0;
+  std::vector<double> etc_cells;
   while (std::getline(in, line)) {
     ++line_no;
+    if (line.rfind(";etc-row", 0) == 0) {
+      if (!have_etc || etc_rows_read == etc_jobs) parse_error(line_no, line);
+      std::istringstream fields(line);
+      std::string tag;
+      std::size_t row = 0;
+      if (!(fields >> tag >> row) || row != etc_rows_read) {
+        parse_error(line_no, line);
+      }
+      for (std::size_t s = 0; s < etc_sites; ++s) {
+        double cell = 0.0;
+        if (!(fields >> cell)) parse_error(line_no, line);
+        etc_cells.push_back(cell);
+      }
+      double extra = 0.0;
+      if (fields >> extra) parse_error(line_no, line);
+      ++etc_rows_read;
+      continue;
+    }
+    if (line.rfind(";etc", 0) == 0) {
+      std::istringstream fields(line);
+      std::string tag;
+      std::string version;
+      if (have_etc ||
+          !(fields >> tag >> version >> etc_jobs >> etc_sites) ||
+          version != "v1" || etc_jobs == 0 || etc_sites == 0) {
+        parse_error(line_no, line);
+      }
+      have_etc = true;
+      etc_cells.reserve(etc_jobs * etc_sites);
+      continue;
+    }
     if (is_skippable(line)) continue;
     std::istringstream fields(line);
     sim::Job job;
@@ -69,9 +127,28 @@ std::vector<sim::Job> read_jobs(std::istream& in) {
     if (job.work <= 0.0 || job.nodes == 0 || job.arrival < 0.0) {
       parse_error(line_no, line);
     }
-    jobs.push_back(job);
+    trace.jobs.push_back(job);
   }
-  return jobs;
+  if (have_etc) {
+    if (etc_rows_read != etc_jobs || etc_jobs != trace.jobs.size()) {
+      throw std::runtime_error(
+          "trace ETC section covers " + std::to_string(etc_rows_read) + "/" +
+          std::to_string(etc_jobs) + " rows for " +
+          std::to_string(trace.jobs.size()) + " jobs");
+    }
+    // The ExecModel constructor enforces finite > 0 cells.
+    trace.exec = sim::ExecModel(etc_jobs, etc_sites, std::move(etc_cells));
+  }
+  return trace;
+}
+
+JobsTrace read_jobs_trace_file(const std::string& path) {
+  auto in = open_input(path);
+  return read_jobs_trace(in);
+}
+
+std::vector<sim::Job> read_jobs(std::istream& in) {
+  return read_jobs_trace(in).jobs;
 }
 
 std::vector<sim::Job> read_jobs_file(const std::string& path) {

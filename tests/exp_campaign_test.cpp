@@ -1,0 +1,332 @@
+#include "exp/campaign/campaign_aggregator.hpp"
+#include "exp/campaign/campaign_runner.hpp"
+#include "exp/campaign/campaign_sinks.hpp"
+#include "exp/campaign/campaign_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace gridsched::exp::campaign {
+namespace {
+
+/// A fast campaign: two heuristics over two small scenarios, two reps.
+CampaignSpec mini_spec() {
+  return parse_spec_text(R"({
+    "name": "mini",
+    "seed": 99,
+    "replications": 2,
+    "metrics": ["makespan", "slowdown", "n_fail"],
+    "scenarios": [
+      {"name": "psa", "jobs": 40},
+      {"name": "synth-batch", "jobs": 40}
+    ],
+    "policies": [
+      {"algo": "min-min", "mode": "f-risky"},
+      {"algo": "sufferage", "mode": "risky"}
+    ]
+  })");
+}
+
+// ------------------------------------------------------------------ spec ---
+
+TEST(CampaignSpec, ParsesFullSchema) {
+  const CampaignSpec spec = parse_spec_text(R"({
+    "name": "full",
+    "seed": 7,
+    "replications": 3,
+    "metrics": ["makespan"],
+    "scenarios": [
+      "psa",
+      {"name": "nas", "jobs": 500, "label": "nas-small", "batch_interval": 1000}
+    ],
+    "policies": [
+      "min-min",
+      {"algo": "sufferage", "mode": "secure", "label": "suff-sec"},
+      {"algo": "stga", "ga": {"population": 32, "generations": 10,
+                              "table_capacity": 50}}
+    ]
+  })");
+  EXPECT_EQ(spec.name, "full");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.replications, 3u);
+  ASSERT_EQ(spec.scenarios.size(), 2u);
+  EXPECT_EQ(spec.scenarios[0].display(), "psa");
+  EXPECT_EQ(spec.scenarios[1].display(), "nas-small");
+  EXPECT_EQ(spec.scenarios[1].n_jobs, 500u);
+  const Scenario nas = spec.scenarios[1].resolve();
+  EXPECT_EQ(nas.nas.n_jobs, 500u);
+  EXPECT_DOUBLE_EQ(nas.engine.batch_interval, 1000.0);
+  ASSERT_EQ(spec.policies.size(), 3u);
+  EXPECT_EQ(spec.policies[0].display(), "min-min-f-risky");
+  EXPECT_EQ(spec.policies[1].display(), "suff-sec");
+  EXPECT_EQ(spec.policies[2].display(), "stga");
+  EXPECT_EQ(spec.policies[2].stga.ga.population, 32u);
+  EXPECT_EQ(spec.policies[2].stga.table_capacity, 50u);
+  // STGA policies resolve to a training-enabled AlgorithmSpec.
+  EXPECT_TRUE(spec.policies[2].resolve().wants_training);
+}
+
+TEST(CampaignSpec, ErrorPaths) {
+  // Unknown scenario name.
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": ["no-such-scenario"],
+                                   "policies": ["min-min"]})"),
+               std::invalid_argument);
+  // Unknown policy algo.
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": ["psa"],
+                                   "policies": ["no-such-algo"]})"),
+               std::invalid_argument);
+  // Unknown mode.
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": ["psa"],
+        "policies": [{"algo": "min-min", "mode": "yolo"}]})"),
+               std::invalid_argument);
+  // Unknown metric.
+  EXPECT_THROW(parse_spec_text(R"({"metrics": ["goodput"],
+        "scenarios": ["psa"], "policies": ["min-min"]})"),
+               std::invalid_argument);
+  // Unknown key (typo'd "generatoins").
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": ["psa"],
+        "policies": [{"algo": "stga", "ga": {"generatoins": 5}}]})"),
+               std::invalid_argument);
+  // No-effect keys are rejected, not silently ignored.
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": ["psa"],
+        "policies": [{"algo": "stga", "mode": "secure"}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": ["psa"],
+        "policies": [{"algo": "ga", "f": 0.3}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": ["psa"],
+        "policies": [{"algo": "min-min", "ga": {"population": 8}}]})"),
+               std::invalid_argument);
+  // Duplicate labels need explicit disambiguation.
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": ["psa", "psa"],
+                                   "policies": ["min-min"]})"),
+               std::invalid_argument);
+  // Structural violations.
+  EXPECT_THROW(parse_spec_text(R"({"scenarios": [], "policies": ["min-min"]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_spec_text(R"({"replications": 0, "scenarios": ["psa"],
+                                   "policies": ["min-min"]})"),
+               std::invalid_argument);
+  // Malformed JSON.
+  EXPECT_THROW(parse_spec_text("{\"scenarios\": [\"psa\""),
+               std::runtime_error);
+}
+
+TEST(CampaignSpec, MissingSpecFileNamesPath) {
+  EXPECT_THROW(static_cast<void>(load_spec("/nonexistent/campaign.json")),
+               std::runtime_error);
+}
+
+TEST(CampaignSpec, CustomScenariosHonourOverrides) {
+  ScenarioRef ref;
+  ref.label = "custom-psa";
+  ref.custom = psa_scenario(250);
+  ref.n_jobs = 77;
+  ref.batch_interval = 500.0;
+  const Scenario resolved = ref.resolve();
+  EXPECT_EQ(resolved.psa.n_jobs, 77u);
+  EXPECT_DOUBLE_EQ(resolved.engine.batch_interval, 500.0);
+}
+
+// ------------------------------------------------------------- expansion ---
+
+TEST(CampaignExpand, MatrixOrderAndDistinctSeeds) {
+  const CampaignSpec spec = mini_spec();
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u);
+  std::set<std::uint64_t> seeds;
+  for (const Cell& cell : cells) seeds.insert(cell.seed);
+  EXPECT_EQ(seeds.size(), cells.size());  // all streams distinct
+  // Scenario-major, policy-minor, replication-innermost.
+  EXPECT_EQ(cells[0].scenario, 0u);
+  EXPECT_EQ(cells[0].policy, 0u);
+  EXPECT_EQ(cells[0].replication, 0u);
+  EXPECT_EQ(cells[1].replication, 1u);
+  EXPECT_EQ(cells[2].policy, 1u);
+  EXPECT_EQ(cells[4].scenario, 1u);
+}
+
+TEST(CampaignExpand, SeedsDependOnLabelsNotIndices) {
+  CampaignSpec spec = mini_spec();
+  const std::uint64_t batch_seed = cell_seed(spec, 1, 0, 0);
+  // Inserting a scenario in front must not reseed synth-batch's cells.
+  ScenarioRef extra;
+  extra.name = "nas";
+  spec.scenarios.insert(spec.scenarios.begin(), extra);
+  EXPECT_EQ(cell_seed(spec, 2, 0, 0), batch_seed);
+}
+
+// ----------------------------------------------------------- determinism ---
+
+TEST(CampaignRunner, ByteIdenticalJsonAcrossThreadCounts) {
+  const CampaignSpec spec = mini_spec();
+  std::string baseline;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    RunnerOptions options;
+    options.threads = threads;
+    const CampaignResult result = CampaignRunner(options).run(spec);
+    const std::string artifact = render_json(result);
+    if (baseline.empty()) {
+      baseline = artifact;
+    } else {
+      EXPECT_EQ(artifact, baseline) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+}
+
+TEST(CampaignRunner, ProgressCallbackSeesEveryCell) {
+  const CampaignSpec spec = mini_spec();
+  RunnerOptions options;
+  options.threads = 2;
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  options.on_cell = [&](const CellResult&, std::size_t done, std::size_t total) {
+    ++calls;
+    EXPECT_EQ(total, 8u);
+    EXPECT_GT(done, last_done);  // the mutex serialises increments
+    last_done = done;
+  };
+  const CampaignResult result = CampaignRunner(options).run(spec);
+  EXPECT_EQ(calls, result.cells.size());
+}
+
+// ---------------------------------------------------- golden mini-campaign ---
+
+TEST(CampaignRunner, GoldenMiniCampaignOverScenarioBatch) {
+  // One scenario, one policy, 3 reps over synth-batch: aggregate means
+  // must equal a hand-rolled reduction of the per-cell metrics, and the
+  // whole run must reproduce exactly.
+  const CampaignSpec spec = parse_spec_text(R"({
+    "name": "golden",
+    "seed": 2005,
+    "replications": 3,
+    "scenarios": [{"name": "synth-batch", "jobs": 60}],
+    "policies": [{"algo": "min-min", "mode": "risky"}]
+  })");
+  RunnerOptions options;
+  options.threads = 1;
+  const CampaignResult result = CampaignRunner(options).run(spec);
+  ASSERT_EQ(result.cells.size(), 3u);
+  ASSERT_EQ(result.groups.size(), 1u);
+  const GroupSummary& group = result.groups[0];
+  EXPECT_EQ(group.scenario, "synth-batch");
+  EXPECT_EQ(group.policy, "min-min-risky");
+  EXPECT_EQ(group.cells, 3u);
+
+  // Defaulted metrics = all deterministic ones, canonical order.
+  ASSERT_EQ(group.metrics.size(), 6u);
+  EXPECT_EQ(group.metrics[0].key, "makespan");
+  util::RunningStats makespan;
+  for (const CellResult& cell : result.cells) {
+    makespan.add(cell.metrics.makespan);
+    EXPECT_EQ(cell.metrics.n_jobs, 60u);
+  }
+  EXPECT_DOUBLE_EQ(group.metrics[0].summary.mean, makespan.mean());
+  EXPECT_DOUBLE_EQ(group.metrics[0].summary.stddev, makespan.stddev());
+  EXPECT_DOUBLE_EQ(group.metrics[0].summary.ci95,
+                   makespan.ci95_halfwidth_t());
+  EXPECT_GT(makespan.mean(), 0.0);
+  EXPECT_EQ(result.jobs_simulated, 180u);
+
+  // Bit-exact reproduction, including through the renderers.
+  const CampaignResult again = CampaignRunner(options).run(spec);
+  EXPECT_EQ(render_json(again), render_json(result));
+  EXPECT_EQ(render_csv(again), render_csv(result));
+}
+
+// ----------------------------------------------------------------- sinks ---
+
+TEST(CampaignSinks, JsonArtifactShapeAndStability) {
+  RunnerOptions options;
+  options.threads = 2;
+  const CampaignResult result = CampaignRunner(options).run(mini_spec());
+  const std::string artifact = render_json(result);
+  // Valid JSON with the documented shape.
+  const util::json::Value doc = util::json::parse(artifact);
+  EXPECT_EQ(doc.at("campaign").as_string(), "mini");
+  EXPECT_EQ(doc.at("replications").as_int(), 2);
+  EXPECT_EQ(doc.at("groups").items().size(), 4u);
+  EXPECT_EQ(doc.at("cells").items().size(), 8u);
+  const util::json::Value& group = doc.at("groups").items()[0];
+  EXPECT_EQ(group.at("metrics").at("makespan").at("count").as_int(), 2);
+  // No wall-clock fields anywhere in the artifact.
+  EXPECT_EQ(artifact.find("wall"), std::string::npos);
+  EXPECT_EQ(artifact.find("scheduler_seconds"), std::string::npos);
+}
+
+TEST(CampaignSinks, SchedulerSecondsNeverEntersJson) {
+  // Even when explicitly requested, the wall-clock metric only reaches
+  // table/CSV output — the JSON artifact must stay deterministic.
+  CampaignSpec spec = mini_spec();
+  spec.metrics = {"makespan", "scheduler_seconds"};
+  RunnerOptions options;
+  options.threads = 1;
+  const CampaignResult result = CampaignRunner(options).run(spec);
+  EXPECT_EQ(render_json(result).find("scheduler_seconds"), std::string::npos);
+  EXPECT_NE(render_csv(result).find("scheduler_seconds"), std::string::npos);
+  EXPECT_NE(render_table(result).find("scheduler_seconds"),
+            std::string::npos);
+}
+
+TEST(CampaignSinks, TableShowsThroughputFooter) {
+  RunnerOptions options;
+  options.threads = 1;
+  const CampaignResult result = CampaignRunner(options).run(mini_spec());
+  const std::string table = render_table(result);
+  EXPECT_NE(table.find("cells/s"), std::string::npos);
+  EXPECT_NE(table.find("8 cells"), std::string::npos);
+}
+
+TEST(CampaignSinks, FileSinksWriteAndEmitFansOut) {
+  RunnerOptions options;
+  options.threads = 1;
+  const CampaignResult result = CampaignRunner(options).run(mini_spec());
+  const std::string json_path = testing::TempDir() + "campaign_sink.json";
+  const std::string csv_path = testing::TempDir() + "campaign_sink.csv";
+  std::ostringstream table_out;
+  std::vector<std::unique_ptr<Sink>> sinks;
+  sinks.push_back(std::make_unique<TableSink>(table_out));
+  sinks.push_back(std::make_unique<JsonFileSink>(json_path));
+  sinks.push_back(std::make_unique<CsvFileSink>(csv_path));
+  emit(result, sinks);
+  EXPECT_FALSE(table_out.str().empty());
+  EXPECT_EQ(util::json::parse_file(json_path).at("campaign").as_string(),
+            "mini");
+  std::ifstream csv(csv_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  EXPECT_EQ(line, "scenario,policy,metric,count,mean,stddev,ci95");
+}
+
+// ------------------------------------------------------------- aggregator ---
+
+TEST(CampaignAggregator, RejectsCellsOutsideTheSpec) {
+  const CampaignSpec spec = mini_spec();
+  CampaignAggregator aggregator(spec);
+  metrics::RunMetrics run;
+  EXPECT_THROW(aggregator.add(5, 0, run), std::out_of_range);
+  EXPECT_THROW(aggregator.add(0, 9, run), std::out_of_range);
+}
+
+TEST(MetricDefs, LookupAndDeterminismFlags) {
+  EXPECT_NE(find_metric("makespan"), nullptr);
+  EXPECT_EQ(find_metric("nope"), nullptr);
+  ASSERT_NE(find_metric("scheduler_seconds"), nullptr);
+  EXPECT_FALSE(find_metric("scheduler_seconds")->deterministic);
+  // Empty request resolves to exactly the deterministic metrics.
+  CampaignSpec spec = mini_spec();
+  spec.metrics.clear();
+  for (const MetricDef* def : resolve_metrics(spec)) {
+    EXPECT_TRUE(def->deterministic);
+  }
+}
+
+}  // namespace
+}  // namespace gridsched::exp::campaign

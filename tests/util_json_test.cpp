@@ -1,0 +1,159 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace gridsched::util::json {
+namespace {
+
+// --------------------------------------------------------------- parsing ---
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse("3.25").as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(parse("-1e3").as_number(), -1000.0);
+  EXPECT_DOUBLE_EQ(parse("0").as_number(), 0.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Value doc = parse(R"({
+    "name": "spec",
+    "count": 3,
+    "items": [1, 2, {"deep": [true, null]}],
+    "empty_obj": {},
+    "empty_arr": []
+  })");
+  EXPECT_EQ(doc.at("name").as_string(), "spec");
+  EXPECT_EQ(doc.at("count").as_int(), 3);
+  ASSERT_EQ(doc.at("items").items().size(), 3u);
+  EXPECT_TRUE(doc.at("items").items()[2].at("deep").items()[0].as_bool());
+  EXPECT_TRUE(doc.at("empty_obj").members().empty());
+  EXPECT_TRUE(doc.at("empty_arr").items().empty());
+}
+
+TEST(JsonParse, PreservesMemberOrder) {
+  const Value doc = parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(doc.members().size(), 3u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse(R"("\ud83d\ude00")").as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, FindAndAt) {
+  const Value doc = parse(R"({"a": 1})");
+  EXPECT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("b"), nullptr);
+  EXPECT_THROW(static_cast<void>(doc.at("b")), std::runtime_error);
+}
+
+TEST(JsonParse, IntAccessors) {
+  EXPECT_EQ(parse("42").as_int(), 42);
+  EXPECT_EQ(parse("42").as_uint(), 42u);
+  EXPECT_EQ(parse("-42").as_int(), -42);
+  EXPECT_THROW(static_cast<void>(parse("1.5").as_int()), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(parse("-3").as_uint()), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(parse("1e30").as_int()), std::runtime_error);
+}
+
+TEST(JsonParse, IntegersBeyondDoublePrecisionStayExact) {
+  // Campaign seeds are uint64; 2^53+1 and UINT64_MAX must not round
+  // through the double representation.
+  EXPECT_EQ(parse("9007199254740993").as_uint(), 9007199254740993ULL);
+  EXPECT_EQ(parse("18446744073709551615").as_uint(), 18446744073709551615ULL);
+  EXPECT_EQ(parse("9223372036854775807").as_int(), 9223372036854775807LL);
+  EXPECT_EQ(parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  // Out of range is an error, not a rounding.
+  EXPECT_THROW(static_cast<void>(parse("18446744073709551616").as_uint()),
+               std::runtime_error);
+  EXPECT_THROW(static_cast<void>(parse("9223372036854775808").as_int()),
+               std::runtime_error);
+}
+
+TEST(JsonParse, TypeMismatchNamesKinds) {
+  try {
+    static_cast<void>(parse("\"x\"").as_number());
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("expected number"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("string"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- errors ---
+
+TEST(JsonParse, MalformedInputsThrowWithPosition) {
+  const char* bad[] = {
+      "",           "{",           "[1, ]",     "{\"a\" 1}",
+      "{\"a\": 1,}", "nul",        "01",        "1.",
+      "1e",         "\"unterminated", "\"bad \x01 ctrl\"", "[1] trailing",
+      "{\"a\": 1, \"a\": 2}",  // duplicate key
+      "\"\\ud800\"",            // unpaired surrogate
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(static_cast<void>(parse(text)), std::runtime_error)
+        << "input: " << text;
+  }
+  try {
+    static_cast<void>(parse("{\n  \"a\": nope\n}"));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(JsonParse, DepthLimited) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW(static_cast<void>(parse(deep)), std::runtime_error);
+}
+
+TEST(JsonParseFile, MissingFileThrowsWithPath) {
+  try {
+    static_cast<void>(parse_file("/nonexistent/spec.json"));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("spec.json"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------- writing ---
+
+TEST(JsonWrite, QuoteEscapes) {
+  EXPECT_EQ(quote("plain"), "\"plain\"");
+  EXPECT_EQ(quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(quote(std::string_view("ctrl\x01", 5)), "\"ctrl\\u0001\"");
+}
+
+TEST(JsonWrite, NumberRoundTripsAndIsShortest) {
+  EXPECT_EQ(number(1.0), "1");
+  EXPECT_EQ(number(0.5), "0.5");
+  EXPECT_EQ(number(-3.0), "-3");
+  // 0.1 is not exactly representable; shortest form must round-trip.
+  const double values[] = {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300};
+  for (const double value : values) {
+    EXPECT_EQ(std::strtod(number(value).c_str(), nullptr), value);
+  }
+  EXPECT_THROW(static_cast<void>(number(std::nan(""))), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridsched::util::json

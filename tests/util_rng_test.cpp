@@ -232,6 +232,51 @@ TEST_P(RngRangeProperty, BoundsHold) {
   }
 }
 
+// --------------------------------------------------------------- SeedMix ---
+
+TEST(SeedMix, DeterministicAndStable) {
+  const std::uint64_t a =
+      SeedMix(7).mix("scenario").mix("policy").mix(std::uint64_t{3}).seed();
+  const std::uint64_t b =
+      SeedMix(7).mix("scenario").mix("policy").mix(std::uint64_t{3}).seed();
+  EXPECT_EQ(a, b);
+  // Pinned value: the mix is part of the campaign artifact contract —
+  // changing it invalidates committed campaign JSON, so fail loudly.
+  EXPECT_EQ(SeedMix(1).mix(std::uint64_t{2}).seed(), 0xdce423fc82c0d5b8ULL);
+}
+
+TEST(SeedMix, OrderAndCoordinatesMatter) {
+  const auto mixed = [](auto... coords) {
+    SeedMix mix(42);
+    (mix.mix(coords), ...);
+    return mix.seed();
+  };
+  EXPECT_NE(mixed(std::uint64_t{1}, std::uint64_t{2}),
+            mixed(std::uint64_t{2}, std::uint64_t{1}));
+  EXPECT_NE(mixed(std::string_view("ab"), std::string_view("c")),
+            mixed(std::string_view("a"), std::string_view("bc")));
+  EXPECT_NE(SeedMix(42).seed(), SeedMix(43).seed());
+  EXPECT_NE(mixed(std::string_view("x")), SeedMix(42).seed());
+}
+
+TEST(SeedMix, AdjacentCellsGetDistantStreams) {
+  // The replacement for `seed + i` arithmetic must not produce correlated
+  // generators for adjacent indices: all derived seeds distinct, and
+  // first draws spread over the 64-bit range.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(SeedMix(5).mix("cell").mix(i).seed());
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+  Rng first = SeedMix(5).mix("cell").mix(std::uint64_t{0}).rng();
+  Rng second = SeedMix(5).mix("cell").mix(std::uint64_t{1}).rng();
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (first.next_u64() != second.next_u64()) ++differing;
+  }
+  EXPECT_EQ(differing, 64);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Ranges, RngRangeProperty,
     ::testing::Values(std::pair<std::int64_t, std::int64_t>{0, 0},

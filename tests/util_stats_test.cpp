@@ -164,5 +164,62 @@ TEST(Histogram, RenderContainsBars) {
   EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 2);
 }
 
+// ----------------------------------------------------- t-distribution CI ---
+
+TEST(TCritical95, MatchesStandardTables) {
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(t_critical_95(2), 4.303);
+  EXPECT_DOUBLE_EQ(t_critical_95(10), 2.228);
+  EXPECT_DOUBLE_EQ(t_critical_95(30), 2.042);
+  EXPECT_NEAR(t_critical_95(50), 2.009, 5e-3);   // interpolated region
+  EXPECT_NEAR(t_critical_95(120), 1.980, 1e-9);
+  EXPECT_DOUBLE_EQ(t_critical_95(10000), 1.96);  // normal limit
+  EXPECT_THROW(static_cast<void>(t_critical_95(0)), std::invalid_argument);
+}
+
+TEST(TCritical95, MonotoneDecreasingTowardNormal) {
+  double previous = t_critical_95(1);
+  for (std::size_t dof = 2; dof <= 200; ++dof) {
+    const double current = t_critical_95(dof);
+    EXPECT_LE(current, previous) << "dof=" << dof;
+    EXPECT_GE(current, 1.96);
+    previous = current;
+  }
+}
+
+TEST(Summarize, MatchesHandComputation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  const Summary summary = summarize(v);
+  EXPECT_EQ(summary.count, 4u);
+  EXPECT_DOUBLE_EQ(summary.mean, 2.5);
+  EXPECT_NEAR(summary.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  // t(dof=3) = 3.182, halfwidth = t * s / sqrt(n).
+  EXPECT_NEAR(summary.ci95, 3.182 * summary.stddev / 2.0, 1e-12);
+}
+
+TEST(Summarize, SmallSamplesWidenVsNormalInterval) {
+  RunningStats stats;
+  stats.add(10.0);
+  stats.add(12.0);
+  stats.add(14.0);
+  // n=3: t CI uses 4.303 instead of 1.96 — more than twice as wide.
+  EXPECT_GT(stats.ci95_halfwidth_t(), 2.0 * stats.ci95_halfwidth());
+  const Summary summary = summarize(stats);
+  EXPECT_DOUBLE_EQ(summary.ci95, stats.ci95_halfwidth_t());
+}
+
+TEST(Summarize, EmptyAndSingleton) {
+  EXPECT_THROW(static_cast<void>(summarize(std::span<const double>{})),
+               std::invalid_argument);
+  const RunningStats empty;
+  EXPECT_EQ(summarize(empty).count, 0u);  // accumulator overload: zeros
+  RunningStats one;
+  one.add(5.0);
+  const Summary summary = summarize(one);
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(summary.ci95, 0.0);
+}
+
 }  // namespace
 }  // namespace gridsched::util
