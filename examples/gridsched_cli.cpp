@@ -131,10 +131,12 @@ void print_metrics(const std::string& name, const metrics::RunMetrics& run,
                    bool csv) {
   if (csv) {
     util::Table table({"algorithm", "makespan", "avg_response", "slowdown",
-                       "n_risk", "n_fail", "avg_utilization"});
+                       "n_risk", "n_fail", "avg_utilization",
+                       "site_down_events", "interruptions"});
     table.row().cell(name).cell(run.makespan, 6).cell(run.avg_response, 6)
         .cell(run.slowdown_ratio, 6).cell(run.n_risk).cell(run.n_fail)
-        .cell(run.avg_utilization, 6);
+        .cell(run.avg_utilization, 6).cell(run.site_down_events)
+        .cell(run.interruptions);
     std::printf("%s", table.csv().c_str());
     return;
   }
@@ -145,6 +147,11 @@ void print_metrics(const std::string& name, const metrics::RunMetrics& run,
   std::printf("risk-taking jobs: %zu\n", run.n_risk);
   std::printf("failed jobs:      %zu\n", run.n_fail);
   std::printf("avg utilization:  %.1f%%\n", 100.0 * run.avg_utilization);
+  if (run.site_down_events > 0) {
+    std::printf("site churn:       %zu outages; %zu jobs interrupted "
+                "(%zu interruptions)\n",
+                run.site_down_events, run.n_interrupted, run.interruptions);
+  }
   std::printf("scheduler time:   %.3f s over %zu batches\n",
               run.scheduler_seconds, run.batch_invocations);
 }

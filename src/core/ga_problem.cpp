@@ -19,6 +19,7 @@ GaProblem build_problem(const sim::SchedulerContext& context,
   problem.now = context.now;
   problem.sites = context.sites;
   problem.avail = context.avail;
+  problem.site_up = context.site_up;
   problem.exec_model = context.exec;
 
   for (std::size_t j = 0; j < context.jobs.size(); ++j) {
@@ -28,8 +29,10 @@ GaProblem build_problem(const sim::SchedulerContext& context,
       // decode hot path can see it.
       throw std::invalid_argument("build_problem: job needs >= 1 node");
     }
+    // Mask-aware: a churned-down site never enters a domain, so no
+    // chromosome — including repaired history matches — can place on it.
     std::vector<sim::SiteId> domain =
-        sched::admissible_sites(context.jobs[j], context.sites, policy);
+        sched::admissible_sites(context, context.jobs[j], policy);
     if (domain.empty()) continue;  // stays pending this round
     problem.jobs.push_back(context.jobs[j]);
     problem.batch_index.push_back(j);

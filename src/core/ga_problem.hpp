@@ -24,6 +24,11 @@ struct GaProblem {
   std::vector<std::size_t> batch_index;     ///< original indices in the context
   std::vector<sim::SiteConfig> sites;
   std::vector<sim::NodeAvailability> avail; ///< committed profiles, per site
+  /// The context's site-availability mask (empty = all usable). Domains
+  /// already exclude masked-out sites; the mask is retained so
+  /// sub-schedulers run on this problem (heuristic population seeds) see
+  /// the same availability the GA did.
+  std::vector<std::uint8_t> site_up;
   /// Admissible sites per job (never empty for jobs kept in `jobs`).
   std::vector<std::vector<sim::SiteId>> domains;
   /// The context's execution model, retained so sub-schedulers built from
@@ -55,6 +60,7 @@ struct GaProblem {
       batch_index = other.batch_index;
       sites = other.sites;
       avail = other.avail;
+      site_up = other.site_up;
       domains = other.domains;
       exec_model = other.exec_model;
       exec = other.exec;

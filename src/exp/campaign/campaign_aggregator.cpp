@@ -7,7 +7,7 @@ namespace gridsched::exp::campaign {
 
 namespace {
 
-constexpr std::array<MetricDef, 7> kMetricDefs = {{
+constexpr std::array<MetricDef, 17> kMetricDefs = {{
     {"makespan", true,
      [](const metrics::RunMetrics& run) { return run.makespan; }},
     {"avg_response", true,
@@ -24,6 +24,48 @@ constexpr std::array<MetricDef, 7> kMetricDefs = {{
      }},
     {"avg_utilization", true,
      [](const metrics::RunMetrics& run) { return run.avg_utilization; }},
+    // Engine counters (PR 5): pure functions of (scenario, policy, seed),
+    // so all deterministic and JSON-safe.
+    {"failure_events", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.failure_events);
+     }},
+    {"risky_attempts", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.risky_attempts);
+     }},
+    {"released_nodes", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.released_nodes);
+     }},
+    {"unreleased_nodes", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.unreleased_nodes);
+     }},
+    {"site_down_events", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.site_down_events);
+     }},
+    {"site_up_events", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.site_up_events);
+     }},
+    {"interruptions", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.interruptions);
+     }},
+    {"n_interrupted", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.n_interrupted);
+     }},
+    {"churn_released_nodes", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.churn_released_nodes);
+     }},
+    {"churn_unreleased_nodes", true,
+     [](const metrics::RunMetrics& run) {
+       return static_cast<double>(run.churn_unreleased_nodes);
+     }},
     // Wall time inside schedule(): varies run to run, so it never enters
     // the byte-stable JSON artifact.
     {"scheduler_seconds", false,

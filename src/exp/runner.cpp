@@ -65,7 +65,7 @@ metrics::RunMetrics run_once(const Scenario& scenario, const AlgorithmSpec& spec
   sim::EngineConfig engine_config = scenario.engine;
   engine_config.seed = engine_seed;
   sim::Engine engine(workload.sites, workload.jobs, engine_config,
-                     workload.exec);
+                     workload.exec, workload.churn);
   engine.run(*scheduler);
   return metrics::compute_metrics(engine);
 }

@@ -1,10 +1,21 @@
 #include "exp/scenario.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
+#include "util/rng.hpp"
+
 namespace gridsched::exp {
+
+namespace {
+
+/// Stream index for the training-workload ETC row sampling (independent of
+/// every draw inside the generators themselves).
+constexpr std::uint64_t kTrainingEtcStream = 0x7e57;
+
+}  // namespace
 
 Scenario nas_scenario(std::size_t n_jobs) {
   Scenario scenario;
@@ -64,12 +75,34 @@ workload::Workload make_training_workload(const Scenario& scenario,
   workload::Workload workload = make_workload(training, seed);
   workload.name += "-training";
   workload.sites = main.sites;  // identical grid => comparable signatures
+  // Training is the paper's churn-free bootstrap phase; any churn
+  // parameters the training generator drew were against the discarded
+  // training grid anyway.
+  workload.churn.clear();
   // The grid substitution invalidates any raw ETC the training generator
   // attached (its cells were fitted jointly with the discarded training
-  // sites, and a raw matrix is authoritative): fall back to the rank-1
-  // model against the main grid instead of simulating exec times from a
-  // grid the jobs no longer run on.
-  workload.exec = sim::ExecModel{};
+  // sites, and a raw matrix is authoritative). Re-gather the *main* grid's
+  // ETC instead: each training job samples a main-matrix row (with the
+  // matching work scalar, keeping etc ~ work / speed self-consistent), so
+  // the history table is trained on the very per-site columns the main run
+  // executes rather than on a rank-1 projection of a different grid.
+  if (main.exec.has_matrix() && !main.jobs.empty()) {
+    const std::span<const double> cells = main.exec.matrix_cells();
+    const std::size_t n_sites = main.exec.matrix_sites();
+    const std::size_t n_main = main.exec.matrix_jobs();
+    util::Rng row_rng = util::Rng::child(seed, kTrainingEtcStream);
+    std::vector<double> rows(workload.jobs.size() * n_sites);
+    for (std::size_t j = 0; j < workload.jobs.size(); ++j) {
+      const std::size_t r = row_rng.index(n_main);
+      std::copy_n(cells.begin() + static_cast<std::ptrdiff_t>(r * n_sites),
+                  n_sites, rows.begin() + static_cast<std::ptrdiff_t>(j * n_sites));
+      workload.jobs[j].work = main.jobs[r].work;
+    }
+    workload.exec =
+        sim::ExecModel(workload.jobs.size(), n_sites, std::move(rows));
+  } else {
+    workload.exec = sim::ExecModel{};
+  }
   return workload;
 }
 

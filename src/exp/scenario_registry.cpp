@@ -118,6 +118,26 @@ const std::map<std::string, ScenarioEntry>& registry() {
           config.arrival.burst_rate = 0.25;
           return synth_scenario(std::move(config));
         }}},
+      {"synth-churn-lo",
+       {"mild site churn (~1 outage/site/run, ~9% downtime)",
+        [] {
+          SynthConfig config = synth_base("synth-churn-lo");
+          config.churn.enabled = true;
+          config.churn.mtbf_mean = 40000.0;
+          config.churn.mttr_mean = 4000.0;
+          config.churn.spread = 0.5;
+          return synth_scenario(std::move(config));
+        }}},
+      {"synth-churn-hi",
+       {"aggressive site churn (frequent outages, ~1/3 downtime)",
+        [] {
+          SynthConfig config = synth_base("synth-churn-hi");
+          config.churn.enabled = true;
+          config.churn.mtbf_mean = 12000.0;
+          config.churn.mttr_mean = 6000.0;
+          config.churn.spread = 0.5;
+          return synth_scenario(std::move(config));
+        }}},
       {"synth-secure",
        {"trust-dominant security regime (risk rarely needed)",
         [] {

@@ -18,6 +18,7 @@ RunMetrics compute_metrics(const sim::Engine& engine) {
     }
     if (job.took_risk) ++metrics.n_risk;
     if (job.failures > 0) ++metrics.n_fail;
+    if (job.interruptions > 0) ++metrics.n_interrupted;
     metrics.total_attempts += job.attempts;
     const double response = job.finish - job.arrival;
     const double final_exec = job.finish - job.last_start;
@@ -36,8 +37,18 @@ RunMetrics compute_metrics(const sim::Engine& engine) {
     metrics.mean_job_slowdown = job_slowdown_sum / n;
   }
 
-  metrics.batch_invocations = engine.counters().batch_invocations;
-  metrics.scheduler_seconds = engine.counters().scheduler_seconds;
+  const sim::EngineCounters& counters = engine.counters();
+  metrics.batch_invocations = counters.batch_invocations;
+  metrics.scheduler_seconds = counters.scheduler_seconds;
+  metrics.failure_events = counters.failure_events;
+  metrics.risky_attempts = counters.risky_attempts;
+  metrics.released_nodes = counters.released_nodes;
+  metrics.unreleased_nodes = counters.unreleased_nodes;
+  metrics.site_down_events = counters.site_down_events;
+  metrics.site_up_events = counters.site_up_events;
+  metrics.interruptions = counters.interrupted_attempts;
+  metrics.churn_released_nodes = counters.churn_released_nodes;
+  metrics.churn_unreleased_nodes = counters.churn_unreleased_nodes;
 
   metrics.site_utilization.reserve(engine.sites().size());
   double util_sum = 0.0;

@@ -19,6 +19,21 @@ struct RunMetrics {
   std::size_t n_fail = 0;
   std::size_t total_attempts = 0;
 
+  // --- engine counters surfaced per run (EngineCounters) ---
+  std::size_t failure_events = 0;    ///< failure detections (attempts)
+  std::size_t risky_attempts = 0;    ///< dispatches with P(fail) > 0
+  std::size_t released_nodes = 0;    ///< failure-release reclaimed tails
+  std::size_t unreleased_nodes = 0;  ///< failure-release shortfalls
+  // --- site churn ---
+  std::size_t site_down_events = 0;
+  std::size_t site_up_events = 0;
+  /// Attempts revoked by site-down events (sum of Job::interruptions).
+  std::size_t interruptions = 0;
+  /// Jobs interrupted at least once.
+  std::size_t n_interrupted = 0;
+  std::size_t churn_released_nodes = 0;
+  std::size_t churn_unreleased_nodes = 0;
+
   double makespan = 0.0;           ///< max_i finish_i
   double avg_response = 0.0;       ///< mean(finish - arrival)
   double avg_final_exec = 0.0;     ///< mean(finish - last_start)

@@ -27,7 +27,7 @@ std::vector<sim::Assignment> MinMinScheduler::schedule(
       const std::size_t j = unassigned[pos];
       const sim::BatchJob& job = context.jobs[j];
       for (std::size_t s = 0; s < context.sites.size(); ++s) {
-        if (!admissible(job, context.sites[s], policy_)) continue;
+        if (!admissible(context, job, s, policy_)) continue;
         const double completion =
             avail[s].preview(job.nodes, etc.exec(j, s), context.now).end;
         if (completion < best_completion) {

@@ -13,6 +13,11 @@ bool admissible(const sim::BatchJob& job, const sim::SiteConfig& site,
   return policy.admissible(job.demand, site.security);
 }
 
+bool admissible(const sim::SchedulerContext& context, const sim::BatchJob& job,
+                std::size_t s, const security::RiskPolicy& policy) noexcept {
+  return context.site_usable(s) && admissible(job, context.sites[s], policy);
+}
+
 std::vector<sim::SiteId> admissible_sites(
     const sim::BatchJob& job, const std::vector<sim::SiteConfig>& sites,
     const security::RiskPolicy& policy) {
@@ -20,6 +25,19 @@ std::vector<sim::SiteId> admissible_sites(
   result.reserve(sites.size());
   for (std::size_t s = 0; s < sites.size(); ++s) {
     if (admissible(job, sites[s], policy)) {
+      result.push_back(static_cast<sim::SiteId>(s));
+    }
+  }
+  return result;
+}
+
+std::vector<sim::SiteId> admissible_sites(const sim::SchedulerContext& context,
+                                          const sim::BatchJob& job,
+                                          const security::RiskPolicy& policy) {
+  std::vector<sim::SiteId> result;
+  result.reserve(context.sites.size());
+  for (std::size_t s = 0; s < context.sites.size(); ++s) {
+    if (admissible(context, job, s, policy)) {
       result.push_back(static_cast<sim::SiteId>(s));
     }
   }

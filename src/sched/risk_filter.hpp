@@ -10,13 +10,28 @@
 
 namespace gridsched::sched {
 
-/// True iff `job` may be placed on `site` under `policy`.
+/// True iff `job` may be placed on `site` under `policy`. This overload
+/// sees only the static site description — it cannot know about the
+/// context's availability mask, so schedulers use the context overload
+/// below.
 bool admissible(const sim::BatchJob& job, const sim::SiteConfig& site,
                 const security::RiskPolicy& policy) noexcept;
+
+/// True iff `job` may be placed on the context's site `s` under `policy`:
+/// the static filter above AND the site is not masked out (a churned-down
+/// site is never admissible, whatever the risk mode). The one admissibility
+/// predicate every scheduler must use.
+bool admissible(const sim::SchedulerContext& context, const sim::BatchJob& job,
+                std::size_t s, const security::RiskPolicy& policy) noexcept;
 
 /// Indices (into `sites`) of every admissible site, in site order.
 std::vector<sim::SiteId> admissible_sites(const sim::BatchJob& job,
                                           const std::vector<sim::SiteConfig>& sites,
+                                          const security::RiskPolicy& policy);
+
+/// Mask-aware admissible set over the context's sites, in site order.
+std::vector<sim::SiteId> admissible_sites(const sim::SchedulerContext& context,
+                                          const sim::BatchJob& job,
                                           const security::RiskPolicy& policy);
 
 }  // namespace gridsched::sched

@@ -23,7 +23,7 @@ std::vector<sim::Assignment> single_pass(const sim::SchedulerContext& context,
     sim::SiteId best_site = sim::kInvalidSite;
     double best_score = EtcMatrix::kInfeasible;
     for (std::size_t s = 0; s < context.sites.size(); ++s) {
-      if (!admissible(job, context.sites[s], policy)) continue;
+      if (!admissible(context, job, s, policy)) continue;
       const double value = score(j, s, job, avail[s], etc);
       if (value < best_score) {
         best_score = value;

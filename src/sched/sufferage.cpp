@@ -32,7 +32,7 @@ std::vector<sim::Assignment> SufferageScheduler::schedule(
       double best = EtcMatrix::kInfeasible;
       double second = EtcMatrix::kInfeasible;
       for (std::size_t s = 0; s < context.sites.size(); ++s) {
-        if (!admissible(job, context.sites[s], policy_)) continue;
+        if (!admissible(context, job, s, policy_)) continue;
         const double completion =
             avail[s].preview(job.nodes, etc.exec(j, s), context.now).end;
         if (completion < best) {

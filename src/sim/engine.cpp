@@ -1,278 +1,39 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <stdexcept>
-#include <string>
-#include <unordered_set>
 #include <utility>
+
+#include "sim/process/arrival_process.hpp"
+#include "sim/process/batch_cycle_process.hpp"
+#include "sim/process/security_failure_process.hpp"
+#include "sim/process/site_churn_process.hpp"
 
 namespace gridsched::sim {
 
 Engine::Engine(std::vector<SiteConfig> sites, std::vector<Job> jobs,
-               EngineConfig config, ExecModel exec_model)
-    : config_(config), exec_model_(std::move(exec_model)) {
-  if (sites.empty()) throw std::invalid_argument("Engine: no sites");
-  if (config_.batch_interval <= 0.0) {
-    throw std::invalid_argument("Engine: batch_interval must be > 0");
-  }
-  sites_.reserve(sites.size());
-  for (std::size_t i = 0; i < sites.size(); ++i) {
-    SiteConfig sc = sites[i];
-    sc.id = static_cast<SiteId>(i);  // ids are dense indices by construction
-    sites_.emplace_back(sc);
-  }
-  jobs_ = std::move(jobs);
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    jobs_[i].id = static_cast<JobId>(i);
-  }
-  // The matrix rows are keyed by the dense ids just assigned; a shape
-  // mismatch would silently read a different job's row.
-  exec_model_.check_shape(jobs_.size(), sites_.size());
-  attempts_.resize(jobs_.size());
-  if (config_.validate_feasibility) validate_workload();
-}
-
-void Engine::validate_workload() const {
-  for (const Job& job : jobs_) {
-    if (job.work <= 0.0) throw std::invalid_argument("Engine: job work must be > 0");
-    if (job.nodes == 0) throw std::invalid_argument("Engine: job nodes must be > 0");
-    if (job.arrival < 0.0) throw std::invalid_argument("Engine: negative arrival");
-    const bool safe_home = std::any_of(
-        sites_.begin(), sites_.end(), [&](const GridSite& site) {
-          return site.fits(job.nodes) &&
-                 security::is_safe(job.demand, site.security());
-        });
-    if (!safe_home) {
-      throw std::invalid_argument(
-          "Engine: job " + std::to_string(job.id) +
-          " has no absolutely-safe site; it could starve after a failure");
-    }
-  }
-}
-
-bool Engine::work_remains() const noexcept {
-  return !pending_.empty() || arrivals_remaining_ > 0 || running_ > 0;
-}
-
-void Engine::ensure_cycle_scheduled(Time now) {
-  if (cycle_scheduled_) return;
-  // Smallest integer cycle index whose derived time is strictly after
-  // `now`. The float quotient only seeds the search: at an exact multiple,
-  // floor(now/interval) + 1 can round to a cycle at (or before) `now`
-  // itself, so the index is corrected against the derived times and kept
-  // monotone across calls before any event is pushed.
-  std::uint64_t index = static_cast<std::uint64_t>(std::max(
-                            0.0, std::floor(now / config_.batch_interval))) +
-                        1;
-  while (index > 1 && static_cast<double>(index - 1) * config_.batch_interval >
-                          now) {
-    --index;
-  }
-  while (static_cast<double>(index) * config_.batch_interval <= now) ++index;
-  index = std::max(index, next_cycle_index_);
-  next_cycle_index_ = index + 1;
-  Event cycle;
-  cycle.time = static_cast<double>(index) * config_.batch_interval;
-  cycle.kind = EventKind::kBatchCycle;
-  events_.push(cycle);
-  cycle_scheduled_ = true;
-}
+               EngineConfig config, ExecModel exec_model,
+               std::vector<SiteChurnParams> churn)
+    : kernel_(std::move(sites), std::move(jobs), config, std::move(exec_model)),
+      churn_(std::move(churn)) {}
 
 void Engine::run(BatchScheduler& scheduler) {
-  if (ran_) throw std::logic_error("Engine::run called twice");
-  ran_ = true;
+  // Registration order fixes the FIFO tie-break among events pushed in
+  // start(): arrivals first (matching the pre-kernel engine event order
+  // exactly, so churn-free runs are bit-identical), churn timelines last.
+  ArrivalProcess arrival;
+  SecurityFailureProcess failure;
+  BatchCycleProcess batch(scheduler, failure);
+  kernel_.add_process(arrival);
+  kernel_.add_process(batch);
+  kernel_.add_process(failure);
 
-  arrivals_remaining_ = jobs_.size();
-  for (const Job& job : jobs_) {
-    Event arrival;
-    arrival.time = job.arrival;
-    arrival.kind = EventKind::kJobArrival;
-    arrival.job = job.id;
-    events_.push(arrival);
-  }
+  const bool churns =
+      std::any_of(churn_.begin(), churn_.end(),
+                  [](const SiteChurnParams& p) { return p.churns(); });
+  SiteChurnProcess churn_process(churn_, kernel_.config().seed);
+  if (churns) kernel_.add_process(churn_process);
 
-  while (!events_.empty()) {
-    const Event event = events_.pop();
-    switch (event.kind) {
-      case EventKind::kJobArrival: {
-        --arrivals_remaining_;
-        pending_.push_back(event.job);
-        ensure_cycle_scheduled(event.time);
-        break;
-      }
-      case EventKind::kBatchCycle: {
-        cycle_scheduled_ = false;
-        handle_batch_cycle(event.time, scheduler);
-        if (work_remains()) ensure_cycle_scheduled(event.time);
-        break;
-      }
-      case EventKind::kJobEnd: {
-        Job& job = jobs_[event.job];
-        Attempt& attempt = attempts_[event.job];
-        GridSite& site = sites_[attempt.site];
-        --running_;
-        attempt.active = false;
-        if (event.is_failure) {
-          ++counters_.failure_events;
-          ++job.failures;
-          job.secure_only = true;  // fail-stop: never risk again
-          job.state = JobState::kPending;
-          site.account_busy(job.nodes, event.time - attempt.window.start);
-          // Give the unused tail of the reservation back to the site,
-          // keyed by the exact stored window end (recomputing start + exec
-          // would rely on bitwise float equality against the profile). A
-          // node is unreclaimable only when a later batch cycle already
-          // stacked the next reservation onto it; count both outcomes so a
-          // zero-node release is visible instead of silently dropped.
-          const unsigned released = site.release_after_failure(
-              job.nodes, attempt.window.end, event.time);
-          counters_.released_nodes += released;
-          counters_.unreleased_nodes += job.nodes - released;
-          pending_.push_back(event.job);
-          ensure_cycle_scheduled(event.time);
-        } else {
-          job.state = JobState::kCompleted;
-          job.finish = event.time;
-          job.final_site = attempt.site;
-          site.account_busy(job.nodes, attempt.exec);
-          makespan_ = std::max(makespan_, event.time);
-          ++counters_.completed_jobs;
-        }
-        break;
-      }
-    }
-  }
-
-  if (counters_.completed_jobs != jobs_.size()) {
-    throw std::runtime_error("Engine: simulation ended with unfinished jobs");
-  }
-}
-
-void Engine::handle_batch_cycle(Time now, BatchScheduler& scheduler) {
-  if (pending_.empty()) return;
-
-  SchedulerContext context;
-  context.now = now;
-  context.exec = exec_model_;
-  context.sites.reserve(sites_.size());
-  context.avail.reserve(sites_.size());
-  for (const GridSite& site : sites_) {
-    context.sites.push_back(site.config());
-    context.avail.push_back(site.availability());
-  }
-  context.jobs.reserve(pending_.size());
-  for (const JobId id : pending_) {
-    const Job& job = jobs_[id];
-    context.jobs.push_back(
-        {job.id, job.work, job.nodes, job.demand, job.arrival, job.secure_only});
-  }
-
-  ++counters_.batch_invocations;
-  const auto wall_start = std::chrono::steady_clock::now();
-  const std::vector<Assignment> assignments = scheduler.schedule(context);
-  counters_.scheduler_seconds +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
-          .count();
-
-  // Validate and apply in the order the scheduler chose.
-  std::unordered_set<std::size_t> assigned;
-  assigned.reserve(assignments.size());
-  for (const Assignment& assignment : assignments) {
-    if (assignment.job_index >= context.jobs.size()) {
-      throw std::logic_error("scheduler returned an out-of-range job index");
-    }
-    if (assignment.site >= sites_.size()) {
-      throw std::logic_error("scheduler returned an invalid site id");
-    }
-    if (!assigned.insert(assignment.job_index).second) {
-      throw std::logic_error("scheduler assigned the same job twice");
-    }
-    const JobId job_id = context.jobs[assignment.job_index].id;
-    const Job& job = jobs_[job_id];
-    const GridSite& site = sites_[assignment.site];
-    if (!site.fits(job.nodes)) {
-      throw std::logic_error("scheduler placed a job on a site it does not fit");
-    }
-    if (job.secure_only && !security::is_safe(job.demand, site.security())) {
-      throw std::logic_error(
-          "scheduler violated the fail-stop rule (secure_only job on risky site)");
-    }
-    dispatch(job_id, assignment.site, now);
-  }
-
-  // Remove dispatched jobs from the pending queue, preserving order.
-  if (!assignments.empty()) {
-    std::deque<JobId> still_pending;
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      if (!assigned.count(i)) still_pending.push_back(pending_[i]);
-    }
-    pending_.swap(still_pending);
-    idle_cycles_ = 0;
-  } else {
-    if (++idle_cycles_ > config_.max_idle_cycles) {
-      throw std::runtime_error(
-          "Engine: scheduler starved " + std::to_string(pending_.size()) +
-          " pending job(s) for too many cycles");
-    }
-  }
-}
-
-void Engine::dispatch(JobId job_id, SiteId site_id, Time now) {
-  Job& job = jobs_[job_id];
-  GridSite& site = sites_[site_id];
-
-  const double exec =
-      exec_model_.exec(job.id, job.work, site_id, site.speed());
-  const NodeAvailability::Window window = site.dispatch(job.nodes, exec, now);
-
-  Attempt& attempt = attempts_[job_id];
-  attempt = {window, exec, site_id, true};
-  ++job.attempts;
-  ++running_;
-  job.state = JobState::kDispatched;
-  if (job.first_start < 0.0) job.first_start = window.start;
-  job.last_start = window.start;
-
-  const double p_fail =
-      security::failure_probability(job.demand, site.security(), config_.lambda);
-  // Common random numbers: the failure draw for (job, attempt) is a pure
-  // hash of (seed, job, attempt), independent of everything the scheduler
-  // did before. Identical placements therefore fail identically under every
-  // algorithm, which removes a large cross-algorithm noise term from the
-  // paired comparisons the paper makes (DESIGN.md §5.5).
-  util::SplitMix64 draw(config_.seed ^
-                        0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(job_id) + 1) ^
-                        0xc2b2ae3d27d4eb4fULL * (job.attempts + 1ULL));
-  const double failure_ticket = static_cast<double>(draw.next() >> 11) * 0x1.0p-53;
-  bool will_fail = false;
-  if (p_fail > 0.0) {
-    ++counters_.risky_attempts;
-    job.took_risk = true;
-    will_fail = failure_ticket < p_fail;
-  }
-
-  Event end;
-  end.kind = EventKind::kJobEnd;
-  end.job = job_id;
-  end.site = site_id;
-  if (will_fail) {
-    double fraction = 1.0;
-    if (config_.detection == FailureDetection::kUniformFraction) {
-      fraction = static_cast<double>(draw.next() >> 11) * 0x1.0p-53;
-    } else if (config_.detection == FailureDetection::kImmediate) {
-      fraction = 0.0;
-    }
-    // Avoid a zero-length attempt so failure times are strictly after start.
-    fraction = std::max(fraction, 1e-6);
-    end.time = window.start + exec * fraction;
-    end.is_failure = true;
-  } else {
-    end.time = window.end;
-    end.is_failure = false;
-  }
-  events_.push(end);
+  kernel_.run();
 }
 
 }  // namespace gridsched::sim

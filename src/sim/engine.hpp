@@ -1,122 +1,62 @@
-// Discrete-event engine implementing the paper's periodic online batch
-// scheduling model (Fig. 1) with security-failure injection (Eq. 1) and
-// fail-stop rescheduling.
+// Compatibility facade over the event-driven simulation kernel
+// (sim/kernel.hpp): one Engine bundles the paper's standard process set —
+// ArrivalProcess, BatchCycleProcess, SecurityFailureProcess and (when the
+// workload carries churn parameters) SiteChurnProcess — onto a SimKernel,
+// preserving the original monolithic Engine API. Code that composes its
+// own process mix (custom dynamism, scripted outages) targets SimKernel
+// directly; everything else keeps constructing an Engine.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
 #include <vector>
 
-#include "security/security.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/exec_model.hpp"
-#include "sim/job.hpp"
+#include "sim/kernel.hpp"
 #include "sim/scheduling.hpp"
-#include "sim/site.hpp"
-#include "util/rng.hpp"
 
 namespace gridsched::sim {
 
-/// When a doomed risky run is detected as failed (DESIGN.md S4).
-enum class FailureDetection {
-  kAtEnd,            ///< after the full execution window
-  kUniformFraction,  ///< after U(0,1) of the execution window
-  kImmediate,        ///< at launch (IDS flags the job as it starts)
-};
-
-struct EngineConfig {
-  /// Scheduling-cycle period (seconds). Jobs accumulate between cycles.
-  Time batch_interval = 2000.0;
-  /// Eq. 1 coefficient used for the *actual* failure draws.
-  double lambda = security::kDefaultLambda;
-  FailureDetection detection = FailureDetection::kUniformFraction;
-  /// Seed for failure draws and detection fractions.
-  std::uint64_t seed = 1;
-  /// Reject workloads containing a job no site could ever run safely
-  /// (such a job could starve forever after a failure).
-  bool validate_feasibility = true;
-  /// Abort if this many consecutive non-empty batches make no progress.
-  std::size_t max_idle_cycles = 10000;
-};
-
-/// Aggregate outcome counters kept by the engine while it runs; per-job
-/// details live in the Job records themselves.
-struct EngineCounters {
-  std::size_t completed_jobs = 0;
-  std::size_t failure_events = 0;     ///< failure detections (attempts)
-  std::size_t risky_attempts = 0;     ///< dispatches with P(fail) > 0
-  std::size_t batch_invocations = 0;  ///< scheduler calls with a non-empty batch
-  double scheduler_seconds = 0.0;     ///< wall time inside schedule()
-  /// Node reservation tails reclaimed by failure releases.
-  std::size_t released_nodes = 0;
-  /// Reserved tails a failure release could NOT reclaim because a later
-  /// reservation had already been stacked onto the node (its free time
-  /// moved past the stored window end). Not stranded capacity — the tail
-  /// is committed to the next job — but surfaced so a zero-node release
-  /// is visible instead of silently ignored.
-  std::size_t unreleased_nodes = 0;
-};
-
 /// Runs one simulation: jobs are injected at their arrival times, scheduled
 /// in batches by the supplied BatchScheduler, executed on reservation-based
-/// space-shared sites, and possibly re-scheduled after security failures.
+/// space-shared sites, possibly re-scheduled after security failures, and —
+/// when churn parameters are present — interrupted and re-queued when their
+/// site goes down.
 class Engine {
  public:
   /// `exec_model`: per-(job, site) execution times. A raw ETC matrix (rows
   /// keyed by position in `jobs`) is authoritative; the default model is
-  /// the rank-1 work/speed fallback.
+  /// the rank-1 work/speed fallback. `churn`: per-site up/down process
+  /// parameters (empty, or all entries with mtbf/mttr <= 0, disables the
+  /// churn process entirely).
   Engine(std::vector<SiteConfig> sites, std::vector<Job> jobs,
-         EngineConfig config = {}, ExecModel exec_model = {});
+         EngineConfig config = {}, ExecModel exec_model = {},
+         std::vector<SiteChurnParams> churn = {});
 
   /// Run to completion (all jobs finished). The scheduler object must
   /// outlive the call. Throws on scheduler protocol violations.
   void run(BatchScheduler& scheduler);
 
-  [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
-  [[nodiscard]] const std::vector<GridSite>& sites() const noexcept { return sites_; }
-  [[nodiscard]] const EngineCounters& counters() const noexcept { return counters_; }
-  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept {
+    return kernel_.jobs();
+  }
+  [[nodiscard]] const std::vector<GridSite>& sites() const noexcept {
+    return kernel_.sites();
+  }
+  [[nodiscard]] const EngineCounters& counters() const noexcept {
+    return kernel_.counters();
+  }
+  [[nodiscard]] const EngineConfig& config() const noexcept {
+    return kernel_.config();
+  }
 
   /// max over jobs of finish time (0 before run / for empty workloads).
-  [[nodiscard]] Time makespan() const noexcept { return makespan_; }
+  [[nodiscard]] Time makespan() const noexcept { return kernel_.makespan(); }
+
+  /// The underlying kernel (diagnostics, tests).
+  [[nodiscard]] const SimKernel& kernel() const noexcept { return kernel_; }
 
  private:
-  struct Attempt {
-    /// The reservation committed at dispatch. `window.end` is the exact
-    /// stored free time the site must be released against after a failure
-    /// (recomputing start + exec would rely on bitwise float equality).
-    NodeAvailability::Window window;
-    double exec = 0.0;
-    SiteId site = kInvalidSite;
-    bool active = false;
-  };
-
-  void validate_workload() const;
-  void handle_batch_cycle(Time now, BatchScheduler& scheduler);
-  void dispatch(JobId job_id, SiteId site_id, Time now);
-  void ensure_cycle_scheduled(Time now);
-  [[nodiscard]] bool work_remains() const noexcept;
-
-  std::vector<GridSite> sites_;
-  std::vector<Job> jobs_;
-  EngineConfig config_;
-  ExecModel exec_model_;
-
-  EventQueue events_;
-  std::deque<JobId> pending_;
-  std::vector<Attempt> attempts_;  ///< per job, current attempt
-  EngineCounters counters_;
-  Time makespan_ = 0.0;
-  std::size_t arrivals_remaining_ = 0;
-  std::size_t running_ = 0;
-  bool cycle_scheduled_ = false;
-  /// 1 + index of the last scheduled batch cycle: cycle times are derived
-  /// from integer indices (index * batch_interval), never by accumulating
-  /// floats, so a cycle can never land at or before the current time.
-  std::uint64_t next_cycle_index_ = 0;
-  std::size_t idle_cycles_ = 0;
-  bool ran_ = false;
+  SimKernel kernel_;
+  std::vector<SiteChurnParams> churn_;
 };
 
 }  // namespace gridsched::sim

@@ -14,7 +14,14 @@ enum class EventKind : std::uint8_t {
   kJobArrival,   ///< payload = job id
   kBatchCycle,   ///< periodic scheduler invocation
   kJobEnd,       ///< payload = job id; success or failure detection
+  kSiteDown,     ///< payload = site id; churn outage begins
+  kSiteUp,       ///< payload = site id; churn outage ends
+  kKindCount_,   ///< sentinel — keep last (sizes the kernel routing table)
 };
+
+/// Number of EventKind values (sizes the kernel's routing table).
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kKindCount_);
 
 struct Event {
   Time time = 0.0;
@@ -23,6 +30,10 @@ struct Event {
   SiteId site = kInvalidSite;
   /// True when this JobEnd is a security failure detection.
   bool is_failure = false;
+  /// For kJobEnd: the attempt serial this end belongs to (the job's
+  /// `attempts` count at dispatch). A site-down revocation leaves the old
+  /// end event queued; the serial lets the consumer drop it as stale.
+  unsigned attempt = 0;
   std::uint64_t seq = 0;  ///< assigned by the queue; breaks time ties FIFO
 };
 

@@ -28,6 +28,8 @@ struct Job {
   bool secure_only = false;
   unsigned attempts = 0;
   unsigned failures = 0;
+  /// Attempts revoked mid-run because their site went down (site churn).
+  unsigned interruptions = 0;
   /// True if any attempt ran on a site with SL < SD.
   bool took_risk = false;
   Time first_start = -1.0;  ///< start of the first attempt

@@ -1,0 +1,141 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace gridsched::sim {
+
+SimKernel::SimKernel(std::vector<SiteConfig> sites, std::vector<Job> jobs,
+                     EngineConfig config, ExecModel exec_model)
+    : config_(config), exec_model_(std::move(exec_model)) {
+  if (sites.empty()) throw std::invalid_argument("Engine: no sites");
+  if (config_.batch_interval <= 0.0) {
+    throw std::invalid_argument("Engine: batch_interval must be > 0");
+  }
+  sites_.reserve(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    SiteConfig sc = sites[i];
+    sc.id = static_cast<SiteId>(i);  // ids are dense indices by construction
+    sites_.emplace_back(sc);
+  }
+  jobs_ = std::move(jobs);
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    jobs_[i].id = static_cast<JobId>(i);
+  }
+  // The matrix rows are keyed by the dense ids just assigned; a shape
+  // mismatch would silently read a different job's row.
+  exec_model_.check_shape(jobs_.size(), sites_.size());
+  attempts_.resize(jobs_.size());
+  site_up_.assign(sites_.size(), 1);
+  if (config_.validate_feasibility) validate_workload();
+}
+
+void SimKernel::validate_workload() const {
+  for (const Job& job : jobs_) {
+    if (job.work <= 0.0) throw std::invalid_argument("Engine: job work must be > 0");
+    if (job.nodes == 0) throw std::invalid_argument("Engine: job nodes must be > 0");
+    if (job.arrival < 0.0) throw std::invalid_argument("Engine: negative arrival");
+    const bool safe_home = std::any_of(
+        sites_.begin(), sites_.end(), [&](const GridSite& site) {
+          return site.fits(job.nodes) &&
+                 security::is_safe(job.demand, site.security());
+        });
+    if (!safe_home) {
+      throw std::invalid_argument(
+          "Engine: job " + std::to_string(job.id) +
+          " has no absolutely-safe site; it could starve after a failure");
+    }
+  }
+}
+
+void SimKernel::add_process(SimProcess& process) {
+  if (ran_) throw std::logic_error("SimKernel: add_process after run");
+  for (const EventKind kind : process.owned_kinds()) {
+    SimProcess*& route = routes_[static_cast<std::size_t>(kind)];
+    if (route != nullptr) {
+      throw std::logic_error("SimKernel: event kind already routed to " +
+                             std::string(route->name()));
+    }
+    route = &process;
+  }
+  processes_.push_back(&process);
+}
+
+void SimKernel::request_cycle(Time now) {
+  if (cycle_scheduled_) return;
+  // Smallest integer cycle index whose derived time is strictly after
+  // `now`. The float quotient only seeds the search: at an exact multiple,
+  // floor(now/interval) + 1 can round to a cycle at (or before) `now`
+  // itself, so the index is corrected against the derived times and kept
+  // monotone across calls before any event is pushed.
+  std::uint64_t index = static_cast<std::uint64_t>(std::max(
+                            0.0, std::floor(now / config_.batch_interval))) +
+                        1;
+  while (index > 1 && static_cast<double>(index - 1) * config_.batch_interval >
+                          now) {
+    --index;
+  }
+  while (static_cast<double>(index) * config_.batch_interval <= now) ++index;
+  index = std::max(index, next_cycle_index_);
+  next_cycle_index_ = index + 1;
+  Event cycle;
+  cycle.time = static_cast<double>(index) * config_.batch_interval;
+  cycle.kind = EventKind::kBatchCycle;
+  events_.push(cycle);
+  cycle_scheduled_ = true;
+}
+
+unsigned SimKernel::revoke_attempt(JobId job_id, Time now) {
+  Job& job = jobs_[job_id];
+  Attempt& attempt = attempts_[job_id];
+  attempt.active = false;  // any queued kJobEnd for this attempt is stale
+  --running_;
+  job.state = JobState::kPending;
+  GridSite& site = sites_[attempt.site];
+  if (attempt.window.start < now) {
+    site.account_busy(job.nodes, now - attempt.window.start);
+  }
+  const unsigned released =
+      site.release_after_failure(job.nodes, attempt.window.end, now);
+  pending_.push_back(job_id);
+  return released;
+}
+
+void SimKernel::run() {
+  if (ran_) throw std::logic_error("Engine::run called twice");
+  ran_ = true;
+  // The kernel does not own its processes (typically facade locals); drop
+  // every reference on the way out — normal or throwing — so the exposed
+  // post-run kernel can never dereference a dead process.
+  struct RouteGuard {
+    SimKernel* kernel;
+    ~RouteGuard() {
+      kernel->processes_.clear();
+      for (SimProcess*& route : kernel->routes_) route = nullptr;
+    }
+  } guard{this};
+
+  arrivals_remaining_ = jobs_.size();
+  for (SimProcess* process : processes_) process->start(*this);
+
+  // The loop ends when every job has completed, not when the queue drains:
+  // an open-ended process (site churn) keeps future events queued for as
+  // long as the simulation could need them.
+  while (!events_.empty()) {
+    if (counters_.completed_jobs == jobs_.size()) break;
+    const Event event = events_.pop();
+    SimProcess* route = routes_[static_cast<std::size_t>(event.kind)];
+    if (route == nullptr) {
+      throw std::logic_error("SimKernel: event kind has no registered process");
+    }
+    route->handle(*this, event);
+  }
+
+  if (counters_.completed_jobs != jobs_.size()) {
+    throw std::runtime_error("Engine: simulation ended with unfinished jobs");
+  }
+}
+
+}  // namespace gridsched::sim

@@ -1,0 +1,226 @@
+// Event-driven simulation kernel. SimKernel owns only the generic
+// machinery — event queue, clock, deterministic FIFO tie-breaking, shared
+// run state (jobs, sites, attempts, pending queue, counters) and the
+// site-availability mask — while every dynamic process of the simulated
+// grid (job arrivals, periodic batch scheduling, security failures, site
+// churn) is a pluggable SimProcess that registers for the event kinds it
+// owns. sim::Engine (engine.hpp) is the compatibility facade that wires
+// the paper's standard process set onto a kernel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "security/security.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/exec_model.hpp"
+#include "sim/job.hpp"
+#include "sim/site.hpp"
+
+namespace gridsched::sim {
+
+class SimKernel;
+
+/// When a doomed risky run is detected as failed (DESIGN.md S4).
+enum class FailureDetection {
+  kAtEnd,            ///< after the full execution window
+  kUniformFraction,  ///< after U(0,1) of the execution window
+  kImmediate,        ///< at launch (IDS flags the job as it starts)
+};
+
+struct EngineConfig {
+  /// Scheduling-cycle period (seconds). Jobs accumulate between cycles.
+  Time batch_interval = 2000.0;
+  /// Eq. 1 coefficient used for the *actual* failure draws.
+  double lambda = security::kDefaultLambda;
+  FailureDetection detection = FailureDetection::kUniformFraction;
+  /// Seed for failure draws, detection fractions and churn timelines.
+  std::uint64_t seed = 1;
+  /// Reject workloads containing a job no site could ever run safely
+  /// (such a job could starve forever after a failure).
+  bool validate_feasibility = true;
+  /// Abort if this many consecutive non-empty batches make no progress.
+  std::size_t max_idle_cycles = 10000;
+};
+
+/// Aggregate outcome counters kept by the kernel while it runs; per-job
+/// details live in the Job records themselves.
+struct EngineCounters {
+  std::size_t completed_jobs = 0;
+  std::size_t failure_events = 0;     ///< failure detections (attempts)
+  std::size_t risky_attempts = 0;     ///< dispatches with P(fail) > 0
+  std::size_t batch_invocations = 0;  ///< scheduler calls with a non-empty batch
+  double scheduler_seconds = 0.0;     ///< wall time inside schedule()
+  /// Node reservation tails reclaimed by failure releases.
+  std::size_t released_nodes = 0;
+  /// Reserved tails a failure release could NOT reclaim because a later
+  /// reservation had already been stacked onto the node (its free time
+  /// moved past the stored window end). Not stranded capacity — the tail
+  /// is committed to the next job — but surfaced so a zero-node release
+  /// is visible instead of silently ignored.
+  std::size_t unreleased_nodes = 0;
+  // --- site-churn process ---
+  std::size_t site_down_events = 0;   ///< kSiteDown occurrences
+  std::size_t site_up_events = 0;     ///< kSiteUp occurrences
+  /// Attempts revoked because their site went down (per-job counts live in
+  /// Job::interruptions).
+  std::size_t interrupted_attempts = 0;
+  /// Reservation tails reclaimed / not reclaimable by site-down
+  /// revocations (same release-by-stored-window accounting as the failure
+  /// counters above; an unreleased tail here is a reservation stacked
+  /// behind the revoked one on the same node).
+  std::size_t churn_released_nodes = 0;
+  std::size_t churn_unreleased_nodes = 0;
+};
+
+/// The current attempt of a job: the reservation committed at dispatch.
+/// `window.end` is the exact stored free time the site must be released
+/// against after a failure or revocation (recomputing start + exec would
+/// rely on bitwise float equality).
+struct Attempt {
+  NodeAvailability::Window window;
+  double exec = 0.0;
+  SiteId site = kInvalidSite;
+  /// Serial of this attempt (== Job::attempts at dispatch); kJobEnd events
+  /// carry it so ends of revoked attempts are dropped as stale.
+  unsigned serial = 0;
+  bool active = false;
+};
+
+/// One dynamic process of the simulation. A process registers the event
+/// kinds it owns (routing is exclusive: exactly one process per kind may
+/// be registered), seeds its initial events in start(), and mutates the
+/// shared kernel state in handle().
+class SimProcess {
+ public:
+  virtual ~SimProcess() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Event kinds routed to this process. Must stay constant.
+  [[nodiscard]] virtual std::span<const EventKind> owned_kinds() const noexcept = 0;
+
+  /// Called once, in registration order, before the event loop.
+  virtual void start(SimKernel& kernel) { (void)kernel; }
+
+  /// Handle one event whose kind this process owns.
+  virtual void handle(SimKernel& kernel, const Event& event) = 0;
+};
+
+/// How a validated (job, site) placement turns into a reservation and an
+/// end event. Implemented by SecurityFailureProcess (which owns the
+/// failure draws); BatchCycleProcess calls it for each assignment.
+class DispatchModel {
+ public:
+  virtual ~DispatchModel() = default;
+  virtual void dispatch(SimKernel& kernel, JobId job, SiteId site, Time now) = 0;
+};
+
+/// The kernel: event queue + clock + shared state + routing. Construction
+/// validates the workload exactly like the former monolithic Engine; the
+/// caller registers processes (non-owning) and calls run().
+class SimKernel {
+ public:
+  SimKernel(std::vector<SiteConfig> sites, std::vector<Job> jobs,
+            EngineConfig config = {}, ExecModel exec_model = {});
+
+  /// Register a process and route its owned kinds to it. Throws
+  /// std::logic_error if a kind is already routed or run() has started.
+  void add_process(SimProcess& process);
+
+  /// Run the event loop to completion (all jobs finished). Throws on
+  /// scheduler protocol violations and if the queue drains with unfinished
+  /// jobs. May be called once.
+  void run();
+
+  // --- shared state, mutable for processes ---
+  [[nodiscard]] std::vector<Job>& jobs() noexcept { return jobs_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::vector<GridSite>& sites() noexcept { return sites_; }
+  [[nodiscard]] const std::vector<GridSite>& sites() const noexcept { return sites_; }
+  [[nodiscard]] std::vector<Attempt>& attempts() noexcept { return attempts_; }
+  [[nodiscard]] const std::vector<Attempt>& attempts() const noexcept {
+    return attempts_;
+  }
+  [[nodiscard]] std::deque<JobId>& pending() noexcept { return pending_; }
+  [[nodiscard]] const std::deque<JobId>& pending() const noexcept { return pending_; }
+  [[nodiscard]] EngineCounters& counters() noexcept { return counters_; }
+  [[nodiscard]] const EngineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ExecModel& exec_model() const noexcept { return exec_model_; }
+
+  /// max over jobs of finish time (0 before run / for empty workloads).
+  [[nodiscard]] Time makespan() const noexcept { return makespan_; }
+  void observe_finish(Time time) noexcept {
+    makespan_ = makespan_ < time ? time : makespan_;
+  }
+
+  // --- event machinery ---
+  void push_event(Event event) { events_.push(event); }
+
+  /// Schedule the next batch cycle strictly after `now` if none is queued.
+  /// Cycle times derive from an integer cycle index (index *
+  /// batch_interval), never from accumulated floats, so a cycle can never
+  /// land at or before the current time.
+  void request_cycle(Time now);
+  /// BatchCycleProcess acknowledges a fired cycle (clears the queued flag).
+  void cycle_fired() noexcept { cycle_scheduled_ = false; }
+
+  // --- run-state bookkeeping ---
+  [[nodiscard]] bool work_remains() const noexcept {
+    return !pending_.empty() || arrivals_remaining_ > 0 || running_ > 0;
+  }
+  void note_arrival() noexcept { --arrivals_remaining_; }
+  void job_started() noexcept { ++running_; }
+  void job_stopped() noexcept { --running_; }
+
+  /// Deactivate `job`'s current attempt at `now` and return it to the
+  /// pending queue: account the node-seconds actually burned (none for a
+  /// reservation whose window had not started), release the reservation
+  /// tail against the *stored* window end, and mark the job pending. The
+  /// one revocation primitive shared by failure releases and site-down
+  /// revocations — their release accounting must never diverge. Returns
+  /// the reclaimed node count (the caller bumps its own
+  /// released/unreleased counters and requests a cycle).
+  unsigned revoke_attempt(JobId job, Time now);
+
+  // --- site availability mask (owned by the churn process) ---
+  [[nodiscard]] bool site_usable(std::size_t site) const noexcept {
+    return site_up_[site] != 0;
+  }
+  void set_site_up(std::size_t site, bool up) noexcept {
+    site_up_[site] = up ? 1 : 0;
+  }
+  /// The mask as handed to SchedulerContext (1 = usable).
+  [[nodiscard]] const std::vector<std::uint8_t>& site_mask() const noexcept {
+    return site_up_;
+  }
+
+ private:
+  void validate_workload() const;
+
+  std::vector<GridSite> sites_;
+  std::vector<Job> jobs_;
+  EngineConfig config_;
+  ExecModel exec_model_;
+
+  EventQueue events_;
+  std::deque<JobId> pending_;
+  std::vector<Attempt> attempts_;  ///< per job, current attempt
+  std::vector<std::uint8_t> site_up_;
+  EngineCounters counters_;
+  Time makespan_ = 0.0;
+  std::size_t arrivals_remaining_ = 0;
+  std::size_t running_ = 0;
+  bool cycle_scheduled_ = false;
+  /// 1 + index of the last scheduled batch cycle (see request_cycle).
+  std::uint64_t next_cycle_index_ = 0;
+  std::vector<SimProcess*> processes_;
+  SimProcess* routes_[kEventKindCount] = {};
+  bool ran_ = false;
+};
+
+}  // namespace gridsched::sim

@@ -1,0 +1,26 @@
+#include "sim/process/arrival_process.hpp"
+
+namespace gridsched::sim {
+
+std::span<const EventKind> ArrivalProcess::owned_kinds() const noexcept {
+  static constexpr EventKind kKinds[] = {EventKind::kJobArrival};
+  return kKinds;
+}
+
+void ArrivalProcess::start(SimKernel& kernel) {
+  for (const Job& job : kernel.jobs()) {
+    Event arrival;
+    arrival.time = job.arrival;
+    arrival.kind = EventKind::kJobArrival;
+    arrival.job = job.id;
+    kernel.push_event(arrival);
+  }
+}
+
+void ArrivalProcess::handle(SimKernel& kernel, const Event& event) {
+  kernel.note_arrival();
+  kernel.pending().push_back(event.job);
+  kernel.request_cycle(event.time);
+}
+
+}  // namespace gridsched::sim

@@ -1,0 +1,97 @@
+#include "sim/process/batch_cycle_process.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace gridsched::sim {
+
+std::span<const EventKind> BatchCycleProcess::owned_kinds() const noexcept {
+  static constexpr EventKind kKinds[] = {EventKind::kBatchCycle};
+  return kKinds;
+}
+
+void BatchCycleProcess::handle(SimKernel& kernel, const Event& event) {
+  kernel.cycle_fired();
+  run_cycle(kernel, event.time);
+  if (kernel.work_remains()) kernel.request_cycle(event.time);
+}
+
+void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
+  if (kernel.pending().empty()) return;
+
+  SchedulerContext context;
+  context.now = now;
+  context.exec = kernel.exec_model();
+  context.site_up = kernel.site_mask();
+  const std::vector<GridSite>& sites = kernel.sites();
+  context.sites.reserve(sites.size());
+  context.avail.reserve(sites.size());
+  for (const GridSite& site : sites) {
+    context.sites.push_back(site.config());
+    context.avail.push_back(site.availability());
+  }
+  context.jobs.reserve(kernel.pending().size());
+  for (const JobId id : kernel.pending()) {
+    const Job& job = kernel.jobs()[id];
+    context.jobs.push_back(
+        {job.id, job.work, job.nodes, job.demand, job.arrival, job.secure_only});
+  }
+
+  ++kernel.counters().batch_invocations;
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<Assignment> assignments = scheduler_.schedule(context);
+  kernel.counters().scheduler_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  // Validate and apply in the order the scheduler chose.
+  std::unordered_set<std::size_t> assigned;
+  assigned.reserve(assignments.size());
+  for (const Assignment& assignment : assignments) {
+    if (assignment.job_index >= context.jobs.size()) {
+      throw std::logic_error("scheduler returned an out-of-range job index");
+    }
+    if (assignment.site >= sites.size()) {
+      throw std::logic_error("scheduler returned an invalid site id");
+    }
+    if (!assigned.insert(assignment.job_index).second) {
+      throw std::logic_error("scheduler assigned the same job twice");
+    }
+    const JobId job_id = context.jobs[assignment.job_index].id;
+    const Job& job = kernel.jobs()[job_id];
+    const GridSite& site = sites[assignment.site];
+    if (!kernel.site_usable(assignment.site)) {
+      throw std::logic_error(
+          "scheduler placed a job on a site that is currently down");
+    }
+    if (!site.fits(job.nodes)) {
+      throw std::logic_error("scheduler placed a job on a site it does not fit");
+    }
+    if (job.secure_only && !security::is_safe(job.demand, site.security())) {
+      throw std::logic_error(
+          "scheduler violated the fail-stop rule (secure_only job on risky site)");
+    }
+    dispatcher_.dispatch(kernel, job_id, assignment.site, now);
+  }
+
+  // Remove dispatched jobs from the pending queue, preserving order.
+  if (!assignments.empty()) {
+    std::deque<JobId> still_pending;
+    for (std::size_t i = 0; i < kernel.pending().size(); ++i) {
+      if (!assigned.count(i)) still_pending.push_back(kernel.pending()[i]);
+    }
+    kernel.pending().swap(still_pending);
+    idle_cycles_ = 0;
+  } else {
+    if (++idle_cycles_ > kernel.config().max_idle_cycles) {
+      throw std::runtime_error(
+          "Engine: scheduler starved " +
+          std::to_string(kernel.pending().size()) +
+          " pending job(s) for too many cycles");
+    }
+  }
+}
+
+}  // namespace gridsched::sim

@@ -1,0 +1,62 @@
+// Site-churn process: sites alternate between up and down. kSiteDown masks
+// the victim out of every subsequent SchedulerContext, revokes its active
+// reservations through the stored Attempt::window (same
+// release-by-stored-window accounting as failure releases) and re-queues
+// the interrupted jobs — which keep their secure_only flag, so a
+// previously failed job still retries safely. The paired kSiteUp restores
+// the site to the mask.
+//
+// Timelines are either drawn online — per-site exponential up/down
+// alternation with MTBF/MTTR means, each site on its own
+// SeedMix(seed).mix("site-churn").mix(site) RNG stream so draws are
+// independent of every other stochastic component — or supplied as an
+// explicit outage script (tests, trace-driven what-ifs).
+#pragma once
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace gridsched::sim {
+
+/// One scripted outage: `site` is down during [down, up).
+struct SiteOutage {
+  SiteId site = kInvalidSite;
+  Time down = 0.0;
+  Time up = 0.0;
+};
+
+class SiteChurnProcess final : public SimProcess {
+ public:
+  /// Stochastic mode: `params[s]` drives site s (entries beyond the site
+  /// count are ignored; sites without an entry, or with mtbf/mttr <= 0,
+  /// never churn). `seed` is usually EngineConfig::seed.
+  SiteChurnProcess(std::vector<SiteChurnParams> params, std::uint64_t seed);
+
+  /// Scripted mode: exactly the given outages, in the given order. Throws
+  /// std::invalid_argument on a non-positive-length outage.
+  explicit SiteChurnProcess(std::vector<SiteOutage> script);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "site-churn";
+  }
+  [[nodiscard]] std::span<const EventKind> owned_kinds() const noexcept override;
+
+  void start(SimKernel& kernel) override;
+  void handle(SimKernel& kernel, const Event& event) override;
+
+ private:
+  void push_site_event(SimKernel& kernel, EventKind kind, SiteId site,
+                       Time time);
+  /// Mask the site and revoke every active attempt on it.
+  void take_site_down(SimKernel& kernel, SiteId site, Time now);
+
+  std::vector<SiteChurnParams> params_;
+  std::uint64_t seed_ = 0;
+  std::vector<util::Rng> streams_;  ///< per site, stochastic mode only
+  std::vector<SiteOutage> script_;
+  bool scripted_ = false;
+};
+
+}  // namespace gridsched::sim

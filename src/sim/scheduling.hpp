@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -32,10 +33,21 @@ struct SchedulerContext {
   std::vector<SiteConfig> sites;
   std::vector<NodeAvailability> avail;  ///< parallel to `sites`
   std::vector<BatchJob> jobs;           ///< the pending batch
+  /// Site availability mask, parallel to `sites` (1 = usable). A site
+  /// masked out by the churn process (currently down) must never receive
+  /// an assignment — the kernel rejects it as a protocol violation. Empty
+  /// means every site is usable (hand-assembled contexts). Schedulers go
+  /// through sched::admissible(context, ...) rather than reading this
+  /// directly, so the mask and the risk filter can never disagree.
+  std::vector<std::uint8_t> site_up;
   /// The engine's execution model. Raw ETC when the workload carries one
   /// (authoritative — schedulers must resolve exec times through it, never
   /// recompute work/speed themselves); rank-1 fallback otherwise.
   ExecModel exec;
+
+  [[nodiscard]] bool site_usable(std::size_t s) const noexcept {
+    return site_up.empty() || site_up[s] != 0;
+  }
 
   /// Execution time of batch job `job` on site index `s`, resolved through
   /// the execution model (matrix rows are keyed by the job's global id).

@@ -25,6 +25,16 @@ struct SiteConfig {
   double security = 1.0;
 };
 
+/// Per-site churn-process parameters (exponential up/down alternation).
+/// A site with either field <= 0 never churns; workloads carry one entry
+/// per site (or none at all) and SiteChurnProcess draws the timeline.
+struct SiteChurnParams {
+  double mtbf = 0.0;  ///< mean up-time between failures (seconds)
+  double mttr = 0.0;  ///< mean outage duration (seconds)
+
+  [[nodiscard]] bool churns() const noexcept { return mtbf > 0.0 && mttr > 0.0; }
+};
+
 /// Sorted multiset of per-node free times with reservation operations.
 class NodeAvailability {
  public:

@@ -1,0 +1,28 @@
+#include "workload/synth/churn.hpp"
+
+#include <stdexcept>
+
+namespace gridsched::workload::synth {
+
+std::vector<sim::SiteChurnParams> churn_params(std::size_t n_sites,
+                                               const ChurnConfig& config,
+                                               util::Rng& rng) {
+  if (!config.enabled) return {};
+  if (config.mtbf_mean <= 0.0 || config.mttr_mean <= 0.0) {
+    throw std::invalid_argument(
+        "churn_params: mtbf_mean and mttr_mean must be > 0");
+  }
+  if (config.spread < 0.0 || config.spread >= 1.0) {
+    throw std::invalid_argument("churn_params: spread must be in [0, 1)");
+  }
+  std::vector<sim::SiteChurnParams> params(n_sites);
+  for (sim::SiteChurnParams& site : params) {
+    site.mtbf =
+        config.mtbf_mean * rng.uniform(1.0 - config.spread, 1.0 + config.spread);
+    site.mttr =
+        config.mttr_mean * rng.uniform(1.0 - config.spread, 1.0 + config.spread);
+  }
+  return params;
+}
+
+}  // namespace gridsched::workload::synth

@@ -16,6 +16,7 @@ enum StreamIndex : std::uint64_t {
   kSecurityStream,
   kSizeStream,
   kDemandStream,
+  kChurnStream,
 };
 
 std::vector<sim::SiteConfig> build_sites(const SynthConfig& config,
@@ -128,6 +129,11 @@ SynthTrace synth_trace(const SynthConfig& config, std::uint64_t seed) {
   // through the rank-1 projection.
   workload.exec =
       sim::ExecModel(config.n_jobs, config.n_sites, trace.etc.cells);
+
+  // 5. Optional site churn: per-site MTBF/MTTR parameters on their own
+  // stream (enabling churn never perturbs the ETC/arrival/security draws).
+  util::Rng churn_rng = util::Rng::child(seed, kChurnStream);
+  workload.churn = churn_params(config.n_sites, config.churn, churn_rng);
   return trace;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "workload/synth/arrival.hpp"
+#include "workload/synth/churn.hpp"
 #include "workload/synth/etc_gen.hpp"
 #include "workload/synth/security_profile.hpp"
 #include "workload/workload.hpp"
@@ -26,6 +27,10 @@ struct SynthConfig {
   EtcConfig etc;
   ArrivalConfig arrival;
   SecurityProfile security = SecurityProfile::paper();
+  /// Site up/down churn process (disabled by default). When enabled the
+  /// generated workload carries per-site MTBF/MTTR parameters and the
+  /// engine runs a SiteChurnProcess.
+  ChurnConfig churn;
   /// Node counts cycled over the sites ({16, 8, 8} -> site 0 has 16 nodes,
   /// sites 1-2 have 8, site 3 has 16 again, ...). Must be non-empty.
   std::vector<unsigned> site_node_pattern = {1};

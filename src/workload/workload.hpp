@@ -19,6 +19,9 @@ struct Workload {
   /// authoritative; for the rank-1 testbeds (nas, psa) the default model
   /// derives exec = work / speed on demand.
   sim::ExecModel exec;
+  /// Per-site churn-process parameters, parallel to `sites`. Empty (the
+  /// default, and every non-churn generator) disables the churn process.
+  std::vector<sim::SiteChurnParams> churn;
 };
 
 }  // namespace gridsched::workload

@@ -181,6 +181,42 @@ TEST(CampaignRunner, ByteIdenticalJsonAcrossThreadCounts) {
   EXPECT_FALSE(baseline.empty());
 }
 
+TEST(CampaignRunner, ChurnScenarioJsonIsByteIdenticalAcrossThreadCounts) {
+  // The churn scenarios add two stochastic processes (site timelines,
+  // revocations) on top of the failure draws; the aggregate artifact —
+  // including the churn counters — must still be a pure function of the
+  // spec, whatever the thread count.
+  const CampaignSpec spec = parse_spec_text(R"({
+    "name": "churn-mini",
+    "seed": 77,
+    "replications": 2,
+    "metrics": ["makespan", "n_fail", "site_down_events", "interruptions",
+                "n_interrupted", "churn_released_nodes"],
+    "scenarios": [{"name": "synth-churn-lo", "jobs": 80},
+                  {"name": "synth-churn-hi", "jobs": 80}],
+    "policies": [{"algo": "min-min", "mode": "risky"}]
+  })");
+  std::string baseline;
+  std::size_t down_events = 0;
+  for (const std::size_t threads : {1u, 4u}) {
+    RunnerOptions options;
+    options.threads = threads;
+    const CampaignResult result = CampaignRunner(options).run(spec);
+    const std::string artifact = render_json(result);
+    if (baseline.empty()) {
+      baseline = artifact;
+      for (const CellResult& cell : result.cells) {
+        down_events += cell.metrics.site_down_events;
+      }
+    } else {
+      EXPECT_EQ(artifact, baseline) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+  // The scenarios actually churned (hi guarantees several outages).
+  EXPECT_GT(down_events, 0u);
+}
+
 TEST(CampaignRunner, ProgressCallbackSeesEveryCell) {
   const CampaignSpec spec = mini_spec();
   RunnerOptions options;
@@ -220,8 +256,9 @@ TEST(CampaignRunner, GoldenMiniCampaignOverScenarioBatch) {
   EXPECT_EQ(group.policy, "min-min-risky");
   EXPECT_EQ(group.cells, 3u);
 
-  // Defaulted metrics = all deterministic ones, canonical order.
-  ASSERT_EQ(group.metrics.size(), 6u);
+  // Defaulted metrics = all deterministic ones (incl. the PR 5 engine
+  // counters), canonical order.
+  ASSERT_EQ(group.metrics.size(), 16u);
   EXPECT_EQ(group.metrics[0].key, "makespan");
   util::RunningStats makespan;
   for (const CellResult& cell : result.cells) {

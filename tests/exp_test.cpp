@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "workload/stats.hpp"
 
 namespace gridsched::exp {
@@ -54,18 +57,56 @@ TEST(Scenario, TrainingWorkloadReusesMainSites) {
   EXPECT_NE(training.name.find("training"), std::string::npos);
 }
 
-TEST(Scenario, SynthTrainingWorkloadDropsTheTrainingEtc) {
+TEST(Scenario, SynthTrainingWorkloadRegathersTheMainEtc) {
   // The training workload reuses the main run's sites, which invalidates
-  // the raw ETC generated against the training grid: it must fall back to
-  // the rank-1 model rather than execute a matrix fitted to sites the
-  // jobs no longer run on.
+  // the raw ETC generated against the training grid. It must NOT fall back
+  // to rank-1 (the old bug): instead every training job carries a row
+  // re-gathered from the *main* grid's authoritative ETC, so STGA trains
+  // on the true matrix.
   const Scenario scenario = make_scenario("synth-inconsistent-hihi", 60);
   const workload::Workload main = make_workload(scenario, 7);
   ASSERT_TRUE(main.exec.has_matrix());
   const workload::Workload training =
       make_training_workload(scenario, main, 20, 8);
-  EXPECT_FALSE(training.exec.has_matrix());
+  ASSERT_TRUE(training.exec.has_matrix());
   EXPECT_EQ(training.jobs.size(), 20u);
+  ASSERT_EQ(training.exec.matrix_jobs(), 20u);
+  ASSERT_EQ(training.exec.matrix_sites(), main.exec.matrix_sites());
+
+  // Golden property: each training row is bit-identical to some main-grid
+  // row, with the matching work scalar (etc ~ work / speed stays
+  // self-consistent through the substitution).
+  const std::span<const double> main_cells = main.exec.matrix_cells();
+  const std::span<const double> training_cells = training.exec.matrix_cells();
+  const std::size_t n_sites = main.exec.matrix_sites();
+  for (std::size_t j = 0; j < training.jobs.size(); ++j) {
+    bool matched = false;
+    for (std::size_t r = 0; r < main.exec.matrix_jobs() && !matched; ++r) {
+      bool equal = true;
+      for (std::size_t s = 0; s < n_sites; ++s) {
+        if (training_cells[j * n_sites + s] != main_cells[r * n_sites + s]) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal && training.jobs[j].work == main.jobs[r].work) matched = true;
+    }
+    EXPECT_TRUE(matched) << "training job " << j
+                         << " carries a row absent from the main ETC";
+  }
+
+  // Deterministic in (scenario, main, seed).
+  const workload::Workload again =
+      make_training_workload(scenario, main, 20, 8);
+  ASSERT_TRUE(again.exec.has_matrix());
+  EXPECT_TRUE(std::equal(training_cells.begin(), training_cells.end(),
+                         again.exec.matrix_cells().begin()));
+
+  // Non-matrix scenarios (psa) keep the rank-1 fallback.
+  const Scenario psa = psa_scenario(60);
+  const workload::Workload psa_main = make_workload(psa, 7);
+  EXPECT_FALSE(
+      make_training_workload(psa, psa_main, 20, 8).exec.has_matrix());
 }
 
 TEST(Scenario, TrainingWorkloadShrinksNasHorizon) {

@@ -81,6 +81,38 @@ TEST(EventQueue, PreservesPayloadFields) {
   EXPECT_TRUE(popped.is_failure);
 }
 
+TEST(EventQueue, SameTimestampCollisionsAcrossAllKindsStayFifo) {
+  // A site-down, a batch cycle, two job ends and a site-up all collide on
+  // one timestamp: the seq tie-break must fully order the five kinds in
+  // push order — this is what makes churn-vs-cycle races deterministic.
+  EventQueue queue;
+  const EventKind kinds[] = {EventKind::kSiteDown, EventKind::kBatchCycle,
+                             EventKind::kJobEnd, EventKind::kSiteUp,
+                             EventKind::kJobEnd};
+  for (const EventKind kind : kinds) queue.push(at(2000.0, kind));
+  // An earlier and a later event bracket the collision.
+  queue.push(at(1999.0, EventKind::kJobEnd));
+  queue.push(at(2001.0, EventKind::kSiteDown));
+
+  EXPECT_EQ(queue.pop().kind, EventKind::kJobEnd);  // t=1999
+  for (const EventKind kind : kinds) {
+    const Event event = queue.pop();
+    EXPECT_DOUBLE_EQ(event.time, 2000.0);
+    EXPECT_EQ(event.kind, kind);
+  }
+  EXPECT_EQ(queue.pop().kind, EventKind::kSiteDown);  // t=2001
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, AttemptSerialRoundTrips) {
+  EventQueue queue;
+  Event event = at(1.0, EventKind::kJobEnd);
+  event.job = 3;
+  event.attempt = 7;
+  queue.push(event);
+  EXPECT_EQ(queue.pop().attempt, 7u);
+}
+
 TEST(EventQueue, LargeMixedLoadStaysSorted) {
   EventQueue queue;
   // Push times in a scrambled deterministic pattern.

@@ -332,9 +332,80 @@ TEST(ScenarioRegistry, ContainsPaperAndSynthFamilies) {
   const auto names = exp::scenario_names();
   for (const char* required :
        {"nas", "psa", "synth-consistent-hihi", "synth-inconsistent-hihi",
-        "synth-batch", "synth-bursty", "synth-secure", "synth-risky"}) {
+        "synth-batch", "synth-bursty", "synth-secure", "synth-risky",
+        "synth-churn-lo", "synth-churn-hi"}) {
     EXPECT_TRUE(std::find(names.begin(), names.end(), required) != names.end())
         << required;
+  }
+}
+
+TEST(Churn, ParamsAreDeterministicAndSpread) {
+  ChurnConfig config;
+  config.enabled = true;
+  config.mtbf_mean = 40000.0;
+  config.mttr_mean = 4000.0;
+  config.spread = 0.5;
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  const auto a = churn_params(16, config, rng_a);
+  const auto b = churn_params(16, config, rng_b);
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_DOUBLE_EQ(a[s].mtbf, b[s].mtbf);
+    EXPECT_DOUBLE_EQ(a[s].mttr, b[s].mttr);
+    EXPECT_TRUE(a[s].churns());
+    EXPECT_GE(a[s].mtbf, config.mtbf_mean * 0.5);
+    EXPECT_LE(a[s].mtbf, config.mtbf_mean * 1.5);
+    EXPECT_GE(a[s].mttr, config.mttr_mean * 0.5);
+    EXPECT_LE(a[s].mttr, config.mttr_mean * 1.5);
+  }
+  // Heterogeneous: not every site shares one MTBF.
+  EXPECT_NE(a.front().mtbf, a.back().mtbf);
+}
+
+TEST(Churn, DisabledConfigYieldsNoParams) {
+  util::Rng rng(1);
+  EXPECT_TRUE(churn_params(8, ChurnConfig{}, rng).empty());
+}
+
+TEST(Churn, RejectsDegenerateConfigs) {
+  util::Rng rng(1);
+  ChurnConfig config;
+  config.enabled = true;
+  config.mtbf_mean = 0.0;
+  config.mttr_mean = 100.0;
+  EXPECT_THROW(churn_params(4, config, rng), std::invalid_argument);
+  config.mtbf_mean = 100.0;
+  config.mttr_mean = -1.0;
+  EXPECT_THROW(churn_params(4, config, rng), std::invalid_argument);
+  config.mttr_mean = 100.0;
+  config.spread = 1.0;
+  EXPECT_THROW(churn_params(4, config, rng), std::invalid_argument);
+}
+
+TEST(Churn, GeneratorAttachesParamsOnlyWhenEnabled) {
+  SynthConfig config;
+  config.n_jobs = 40;
+  config.n_sites = 6;
+  EXPECT_TRUE(synth_workload(config, 5).churn.empty());
+
+  config.churn.enabled = true;
+  config.churn.mtbf_mean = 30000.0;
+  config.churn.mttr_mean = 3000.0;
+  const Workload churned = synth_workload(config, 5);
+  EXPECT_EQ(churned.churn.size(), 6u);
+
+  // Enabling churn must not perturb the other streams: jobs identical.
+  const Workload base = synth_workload([&] {
+    SynthConfig plain = config;
+    plain.churn = ChurnConfig{};
+    return plain;
+  }(), 5);
+  ASSERT_EQ(base.jobs.size(), churned.jobs.size());
+  for (std::size_t j = 0; j < base.jobs.size(); ++j) {
+    EXPECT_DOUBLE_EQ(base.jobs[j].work, churned.jobs[j].work);
+    EXPECT_DOUBLE_EQ(base.jobs[j].arrival, churned.jobs[j].arrival);
+    EXPECT_EQ(base.jobs[j].nodes, churned.jobs[j].nodes);
   }
 }
 
