@@ -42,10 +42,10 @@ inline BenchArgs parse_args(int argc, char** argv) {
 }
 
 inline void print_banner(const std::string& id, const std::string& claim) {
-  std::printf("==============================================================\n");
+  std::printf("============================================================\n");
   std::printf("%s\n", id.c_str());
   std::printf("Paper expectation: %s\n", claim.c_str());
-  std::printf("==============================================================\n");
+  std::printf("============================================================\n");
 }
 
 /// Paper-default STGA configuration (Table 1).

@@ -22,7 +22,8 @@ using bench::scenario_batch;
 using Clock = std::chrono::steady_clock;
 
 double elapsed_ms(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                   start).count();
 }
 
 /// The ISSUE's per-batch target shape: 512 jobs over 16 heterogeneous sites.
@@ -156,7 +157,8 @@ int main(int argc, char** argv) {
   // The ISSUE's headline shape, measured with the same harness.
   {
     const auto context = target_batch(512, 16, args.seed);
-    rows.push_back(measure_decode("target-512x16", context, repeats, args.seed));
+    rows.push_back(measure_decode("target-512x16", context, repeats,
+                                  args.seed));
     const DecodeRow& row = rows.back();
     table.row()
         .cell(row.scenario)

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
   for (int step = 0; step <= 10; ++step) {
     const double f = 0.1 * step;
     const auto minmin = exp::run_replicated(
-        scenario, exp::heuristic_spec("min-min", security::RiskPolicy::f_risky(f)),
+        scenario, exp::heuristic_spec("min-min",
+                                      security::RiskPolicy::f_risky(f)),
         args.reps, args.seed);
     const auto sufferage = exp::run_replicated(
         scenario,

@@ -37,7 +37,8 @@ sim::SchedulerContext make_batch(std::size_t n_jobs, std::size_t n_sites,
 void heuristic_latency(benchmark::State& state, const std::string& name) {
   const auto context =
       make_batch(static_cast<std::size_t>(state.range(0)), 12, 42);
-  auto scheduler = sched::make_heuristic(name, security::RiskPolicy::f_risky(0.5));
+  auto scheduler = sched::make_heuristic(name,
+                                         security::RiskPolicy::f_risky(0.5));
   for (auto _ : state) {
     benchmark::DoNotOptimize(scheduler->schedule(context));
   }
@@ -45,7 +46,9 @@ void heuristic_latency(benchmark::State& state, const std::string& name) {
 }
 
 void BM_MinMin(benchmark::State& state) { heuristic_latency(state, "min-min"); }
-void BM_Sufferage(benchmark::State& state) { heuristic_latency(state, "sufferage"); }
+void BM_Sufferage(benchmark::State& state) {
+  heuristic_latency(state, "sufferage");
+}
 void BM_Mct(benchmark::State& state) { heuristic_latency(state, "mct"); }
 
 void ga_latency(benchmark::State& state, bool warm, std::size_t generations,
@@ -54,7 +57,8 @@ void ga_latency(benchmark::State& state, bool warm, std::size_t generations,
   core::StgaConfig config;
   config.ga.population = 200;
   config.ga.generations = generations;
-  auto scheduler = warm ? core::make_stga(config) : core::make_classic_ga(config);
+  auto scheduler = warm ? core::make_stga(config) :
+      core::make_classic_ga(config);
   if (warm) {
     // Pre-warm the history table with similar batches.
     for (std::uint64_t round = 0; round < 4; ++round) {
@@ -134,7 +138,10 @@ BENCHMARK(BM_StgaWarm100)->Unit(benchmark::kMillisecond)->Arg(16)->Arg(32);
 BENCHMARK(BM_StgaWarm50)->Unit(benchmark::kMillisecond)->Arg(16)->Arg(32);
 BENCHMARK(BM_ColdGa100)->Unit(benchmark::kMillisecond)->Arg(16)->Arg(32);
 BENCHMARK(BM_GaBatch16Sites)->Unit(benchmark::kMillisecond)->Arg(128)->Arg(512);
-BENCHMARK(BM_StgaBatch16Sites)->Unit(benchmark::kMillisecond)->Arg(128)->Arg(512);
+BENCHMARK(BM_StgaBatch16Sites)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(128)
+    ->Arg(512);
 BENCHMARK(BM_FitnessDecode)->Arg(8)->Arg(32)->Arg(128);
 BENCHMARK(BM_FitnessDecodeReference)->Arg(64)->Arg(128)->Arg(512);
 BENCHMARK(BM_FitnessDecodeScratch)->Arg(64)->Arg(128)->Arg(512);

@@ -267,7 +267,8 @@ int cmd_campaign(const util::Cli& cli) {
   options.threads = static_cast<std::size_t>(threads);
   const bool quiet = cli.get_or("quiet", false);
   if (!quiet) {
-    options.on_cell = [](const exp::campaign::CellResult& cell, std::size_t done,
+    options.on_cell = [](const exp::campaign::CellResult& cell,
+                         std::size_t done,
                          std::size_t total) {
       std::fprintf(stderr, "\r[%zu/%zu] cells done (last: makespan %.0f s)  ",
                    done, total, cell.metrics.makespan);

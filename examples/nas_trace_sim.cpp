@@ -53,9 +53,11 @@ int main(int argc, char** argv) {
         .cell(result.aggregate.makespan().mean(), 0)
         .cell(result.aggregate.avg_response().mean(), 0)
         .cell(result.aggregate.slowdown().mean(), 2)
-        .cell(std::to_string(static_cast<long>(result.aggregate.n_fail().mean())) +
+        .cell(std::to_string(
+                  static_cast<long>(result.aggregate.n_fail().mean())) +
               "/" +
-              std::to_string(static_cast<long>(result.aggregate.n_risk().mean())))
+              std::to_string(
+                  static_cast<long>(result.aggregate.n_risk().mean())))
         .cell(run.idle_sites);
     if (best_name.empty() || run.makespan < best_run.makespan) {
       best_run = run;

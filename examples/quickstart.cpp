@@ -24,9 +24,12 @@ int main(int argc, char** argv) {
   // 2. Pick algorithms. Heuristics pair a strategy with a risk mode; the
   //    STGA is the paper's history-seeded genetic algorithm.
   std::vector<exp::AlgorithmSpec> roster;
-  roster.push_back(exp::heuristic_spec("min-min", security::RiskPolicy::secure()));
-  roster.push_back(exp::heuristic_spec("min-min", security::RiskPolicy::f_risky(f)));
-  roster.push_back(exp::heuristic_spec("sufferage", security::RiskPolicy::risky()));
+  roster.push_back(exp::heuristic_spec("min-min",
+                                       security::RiskPolicy::secure()));
+  roster.push_back(exp::heuristic_spec("min-min",
+                                       security::RiskPolicy::f_risky(f)));
+  roster.push_back(exp::heuristic_spec("sufferage",
+                                       security::RiskPolicy::risky()));
   core::StgaConfig stga;           // paper defaults: pop 200, 100 generations
   stga.ga.generations = 50;        // quickstart: converged per Fig. 7(b)
   roster.push_back(exp::stga_spec(stga));

@@ -91,14 +91,16 @@ class FitnessEvaluator {
             for (std::size_t k = begin; k < end; ++k) {
               const std::size_t i = to_eval_[k];
               fitness[i] =
-                  decode_fitness(problem_, population[i], params_.fitness, scratch);
+                  decode_fitness(problem_, population[i], params_.fitness,
+                                 scratch);
             }
           },
           scratches_.size());
     } else {
       for (const std::size_t i : to_eval_) {
         fitness[i] =
-            decode_fitness(problem_, population[i], params_.fitness, scratches_[0]);
+            decode_fitness(problem_, population[i], params_.fitness,
+                           scratches_[0]);
       }
     }
 
@@ -182,7 +184,8 @@ GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
     if (elites > 0) {
       std::iota(elite_order.begin(), elite_order.end(), std::size_t{0});
       std::partial_sort(elite_order.begin(),
-                        elite_order.begin() + static_cast<std::ptrdiff_t>(elites),
+                        elite_order.begin() +
+                            static_cast<std::ptrdiff_t>(elites),
                         elite_order.end(), [&](std::size_t a, std::size_t b) {
                           return fitness[a] < fitness[b];
                         });

@@ -259,7 +259,8 @@ void validate_decode_args(const GaProblem& problem,
 }  // namespace
 
 double decode_fitness(const GaProblem& problem, const Chromosome& chromosome,
-                      const FitnessParams& params, DecodeScratch& scratch) noexcept {
+                      const FitnessParams& params,
+                      DecodeScratch& scratch) noexcept {
   double worst = problem.now;
   double sum = 0.0;
   decode_into(scratch, problem, chromosome, params.risk_penalty_weight,
@@ -319,7 +320,8 @@ bool is_feasible(const GaProblem& problem, const Chromosome& chromosome) {
   if (chromosome.size() != problem.n_jobs()) return false;
   for (std::size_t j = 0; j < chromosome.size(); ++j) {
     const auto& domain = problem.domains[j];
-    if (std::find(domain.begin(), domain.end(), chromosome[j]) == domain.end()) {
+    if (std::find(domain.begin(), domain.end(),
+                  chromosome[j]) == domain.end()) {
       return false;
     }
   }

@@ -255,9 +255,9 @@ std::vector<std::size_t> decode_order(const GaProblem& problem,
 
 /// Allocation-free decode_order: the returned span aliases the scratch and
 /// is valid until its next prepare()/bind(). Also resets the scratch arena.
-std::span<const std::size_t> decode_order_into(DecodeScratch& scratch,
-                                               const GaProblem& problem,
-                                               const Chromosome& chromosome) noexcept;
+std::span<const std::size_t> decode_order_into(
+    DecodeScratch& scratch, const GaProblem& problem,
+    const Chromosome& chromosome) noexcept;
 
 /// Retained pre-fast-path implementations (fresh decode-order vector,
 /// comparator-driven stable_sort, deep-copied availability profiles).

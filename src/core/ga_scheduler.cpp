@@ -124,14 +124,16 @@ std::vector<sim::Assignment> GaScheduler::schedule(
   // the engine realises exactly the reservations the GA optimised.
   std::vector<sim::Assignment> assignments;
   assignments.reserve(problem.n_jobs());
-  for (const std::size_t j : decode_order_into(scratch_, problem, result.best)) {
+  for (const std::size_t j : decode_order_into(scratch_, problem,
+                                               result.best)) {
     assignments.push_back({problem.batch_index[j], result.best[j]});
   }
   return assignments;
 }
 
-void GaScheduler::record_external(const sim::SchedulerContext& context,
-                                  const std::vector<sim::Assignment>& assignments) {
+void GaScheduler::record_external(
+    const sim::SchedulerContext& context,
+    const std::vector<sim::Assignment>& assignments) {
   GaProblem problem =
       build_problem(context, security::RiskPolicy::risky(config_.lambda));
   if (problem.n_jobs() == 0 || assignments.empty()) return;
@@ -152,7 +154,8 @@ void GaScheduler::record_external(const sim::SchedulerContext& context,
   table_.insert(make_signature(problem), std::move(chromosome));
 }
 
-std::unique_ptr<GaScheduler> make_stga(StgaConfig config, util::ThreadPool* pool) {
+std::unique_ptr<GaScheduler> make_stga(StgaConfig config,
+                                       util::ThreadPool* pool) {
   config.use_history = true;
   return std::make_unique<GaScheduler>(config, pool);
 }

@@ -46,7 +46,8 @@ class GaScheduler : public sim::BatchScheduler {
     return config_.use_history ? "STGA" : "GA";
   }
 
-  std::vector<sim::Assignment> schedule(const sim::SchedulerContext& context) override;
+  std::vector<sim::Assignment> schedule(
+      const sim::SchedulerContext& context) override;
 
   /// Store an externally produced schedule in the history table (training).
   void record_external(const sim::SchedulerContext& context,
@@ -56,8 +57,8 @@ class GaScheduler : public sim::BatchScheduler {
   [[nodiscard]] const StgaConfig& config() const noexcept { return config_; }
 
  private:
-  std::vector<Chromosome> build_initial_population(const GaProblem& problem,
-                                                   const BatchSignature& signature);
+  std::vector<Chromosome> build_initial_population(
+      const GaProblem& problem, const BatchSignature& signature);
 
   StgaConfig config_;
   util::ThreadPool* pool_;
@@ -85,7 +86,8 @@ class RecordingScheduler final : public sim::BatchScheduler {
     return inner_.name() + " (recording)";
   }
 
-  std::vector<sim::Assignment> schedule(const sim::SchedulerContext& context) override {
+  std::vector<sim::Assignment> schedule(
+      const sim::SchedulerContext& context) override {
     auto assignments = inner_.schedule(context);
     target_.record_external(context, assignments);
     return assignments;

@@ -17,7 +17,8 @@ Chromosome random_chromosome(const GaProblem& problem, util::Rng& rng) {
 void RouletteWheel::rebuild(std::span<const double> fitness) {
   if (fitness.empty()) throw std::invalid_argument("roulette_select: empty");
   n_ = fitness.size();
-  const auto [min_it, max_it] = std::minmax_element(fitness.begin(), fitness.end());
+  const auto [min_it, max_it] = std::minmax_element(fitness.begin(),
+                                                    fitness.end());
   const double worst = *max_it;
   const double range = worst - *min_it;
   uniform_ = range <= 0.0;  // all equal: uniform selection
@@ -70,14 +71,16 @@ void mutate(Chromosome& chromosome, const GaProblem& problem, double per_gene,
 void repair(Chromosome& chromosome, const GaProblem& problem, util::Rng& rng) {
   for (std::size_t j = 0; j < chromosome.size(); ++j) {
     const auto& domain = problem.domains[j];
-    if (std::find(domain.begin(), domain.end(), chromosome[j]) == domain.end()) {
+    if (std::find(domain.begin(), domain.end(),
+                  chromosome[j]) == domain.end()) {
       chromosome[j] = domain[rng.index(domain.size())];
     }
   }
 }
 
 Chromosome resample_genes(const Chromosome& source, std::size_t target_size) {
-  if (source.empty()) throw std::invalid_argument("resample_genes: empty source");
+  if (source.empty())
+    throw std::invalid_argument("resample_genes: empty source");
   Chromosome out(target_size);
   for (std::size_t i = 0; i < target_size; ++i) {
     out[i] = source[i * source.size() / std::max<std::size_t>(target_size, 1)];

@@ -31,7 +31,8 @@ security::RiskPolicy policy_for(const PolicyRef& ref) {
 
 /// Strict key check so spec typos fail loudly instead of silently running
 /// the defaults ("generatoins": 50 would otherwise burn a campaign).
-void check_keys(const Value& object, std::initializer_list<std::string_view> allowed,
+void check_keys(const Value& object,
+                std::initializer_list<std::string_view> allowed,
                 const std::string& context) {
   for (const auto& [key, value] : object.members()) {
     if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {

@@ -47,14 +47,16 @@ void train_stga(const Scenario& scenario, const workload::Workload& main,
 
 }  // namespace
 
-metrics::RunMetrics run_once(const Scenario& scenario, const AlgorithmSpec& spec,
+metrics::RunMetrics run_once(const Scenario& scenario,
+                             const AlgorithmSpec& spec,
                              std::uint64_t seed, util::ThreadPool* ga_pool) {
   const std::uint64_t workload_seed = util::Rng::child(seed, 1).next_u64();
   const std::uint64_t engine_seed = util::Rng::child(seed, 2).next_u64();
   const std::uint64_t algo_seed = util::Rng::child(seed, 3).next_u64();
 
   workload::Workload workload = make_workload(scenario, workload_seed);
-  std::unique_ptr<sim::BatchScheduler> scheduler = spec.make(ga_pool, algo_seed);
+  std::unique_ptr<sim::BatchScheduler> scheduler = spec.make(ga_pool,
+                                                             algo_seed);
 
   if (spec.wants_training) {
     if (auto* stga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {

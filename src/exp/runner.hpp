@@ -15,7 +15,8 @@
 namespace gridsched::exp {
 
 /// Build workload, (optionally) run the training phase, simulate, measure.
-metrics::RunMetrics run_once(const Scenario& scenario, const AlgorithmSpec& spec,
+metrics::RunMetrics run_once(const Scenario& scenario,
+                             const AlgorithmSpec& spec,
                              std::uint64_t seed,
                              util::ThreadPool* ga_pool = nullptr);
 

@@ -95,7 +95,8 @@ workload::Workload make_training_workload(const Scenario& scenario,
     for (std::size_t j = 0; j < workload.jobs.size(); ++j) {
       const std::size_t r = row_rng.index(n_main);
       std::copy_n(cells.begin() + static_cast<std::ptrdiff_t>(r * n_sites),
-                  n_sites, rows.begin() + static_cast<std::ptrdiff_t>(j * n_sites));
+                  n_sites, rows.begin() + static_cast<std::ptrdiff_t>(j *
+                                                                      n_sites));
       workload.jobs[j].work = main.jobs[r].work;
     }
     workload.exec =

@@ -14,7 +14,8 @@ RunMetrics compute_metrics(const sim::Engine& engine) {
   double job_slowdown_sum = 0.0;
   for (const sim::Job& job : jobs) {
     if (job.state != sim::JobState::kCompleted) {
-      throw std::invalid_argument("compute_metrics: engine has unfinished jobs");
+      throw std::invalid_argument(
+          "compute_metrics: engine has unfinished jobs");
     }
     if (job.took_risk) ++metrics.n_risk;
     if (job.failures > 0) ++metrics.n_fail;

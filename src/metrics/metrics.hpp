@@ -59,11 +59,21 @@ class MetricsAggregate {
   void add(const RunMetrics& run);
 
   [[nodiscard]] std::size_t runs() const noexcept { return runs_; }
-  [[nodiscard]] const util::RunningStats& makespan() const noexcept { return makespan_; }
-  [[nodiscard]] const util::RunningStats& avg_response() const noexcept { return response_; }
-  [[nodiscard]] const util::RunningStats& slowdown() const noexcept { return slowdown_; }
-  [[nodiscard]] const util::RunningStats& n_risk() const noexcept { return n_risk_; }
-  [[nodiscard]] const util::RunningStats& n_fail() const noexcept { return n_fail_; }
+  [[nodiscard]] const util::RunningStats& makespan() const noexcept {
+    return makespan_;
+  }
+  [[nodiscard]] const util::RunningStats& avg_response() const noexcept {
+    return response_;
+  }
+  [[nodiscard]] const util::RunningStats& slowdown() const noexcept {
+    return slowdown_;
+  }
+  [[nodiscard]] const util::RunningStats& n_risk() const noexcept {
+    return n_risk_;
+  }
+  [[nodiscard]] const util::RunningStats& n_fail() const noexcept {
+    return n_fail_;
+  }
   [[nodiscard]] const util::RunningStats& avg_utilization() const noexcept {
     return avg_util_;
   }
@@ -71,7 +81,8 @@ class MetricsAggregate {
     return sched_seconds_;
   }
   /// Per-site utilization stats; sized on the first add().
-  [[nodiscard]] const std::vector<util::RunningStats>& site_utilization() const noexcept {
+  [[nodiscard]] const std::vector<util::RunningStats>& site_utilization()
+      const noexcept {
     return site_util_;
   }
 

@@ -20,7 +20,9 @@ class HeuristicScheduler : public sim::BatchScheduler {
  public:
   explicit HeuristicScheduler(security::RiskPolicy policy) : policy_(policy) {}
 
-  [[nodiscard]] const security::RiskPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const security::RiskPolicy& policy() const noexcept {
+    return policy_;
+  }
 
   [[nodiscard]] std::string name() const override {
     return base_name() + " " + security::to_string(policy_.mode());
@@ -37,7 +39,8 @@ class HeuristicScheduler : public sim::BatchScheduler {
 class MinMinScheduler final : public HeuristicScheduler {
  public:
   using HeuristicScheduler::HeuristicScheduler;
-  std::vector<sim::Assignment> schedule(const sim::SchedulerContext& context) override;
+  std::vector<sim::Assignment> schedule(
+      const sim::SchedulerContext& context) override;
 
  protected:
   [[nodiscard]] std::string base_name() const override { return "Min-Min"; }
@@ -48,7 +51,8 @@ class MinMinScheduler final : public HeuristicScheduler {
 class MaxMinScheduler final : public HeuristicScheduler {
  public:
   using HeuristicScheduler::HeuristicScheduler;
-  std::vector<sim::Assignment> schedule(const sim::SchedulerContext& context) override;
+  std::vector<sim::Assignment> schedule(
+      const sim::SchedulerContext& context) override;
 
  protected:
   [[nodiscard]] std::string base_name() const override { return "Max-Min"; }
@@ -60,7 +64,8 @@ class MaxMinScheduler final : public HeuristicScheduler {
 class SufferageScheduler final : public HeuristicScheduler {
  public:
   using HeuristicScheduler::HeuristicScheduler;
-  std::vector<sim::Assignment> schedule(const sim::SchedulerContext& context) override;
+  std::vector<sim::Assignment> schedule(
+      const sim::SchedulerContext& context) override;
 
  protected:
   [[nodiscard]] std::string base_name() const override { return "Sufferage"; }
@@ -71,7 +76,8 @@ class SufferageScheduler final : public HeuristicScheduler {
 class MctScheduler final : public HeuristicScheduler {
  public:
   using HeuristicScheduler::HeuristicScheduler;
-  std::vector<sim::Assignment> schedule(const sim::SchedulerContext& context) override;
+  std::vector<sim::Assignment> schedule(
+      const sim::SchedulerContext& context) override;
 
  protected:
   [[nodiscard]] std::string base_name() const override { return "MCT"; }
@@ -82,7 +88,8 @@ class MctScheduler final : public HeuristicScheduler {
 class MetScheduler final : public HeuristicScheduler {
  public:
   using HeuristicScheduler::HeuristicScheduler;
-  std::vector<sim::Assignment> schedule(const sim::SchedulerContext& context) override;
+  std::vector<sim::Assignment> schedule(
+      const sim::SchedulerContext& context) override;
 
  protected:
   [[nodiscard]] std::string base_name() const override { return "MET"; }
@@ -93,7 +100,8 @@ class MetScheduler final : public HeuristicScheduler {
 class OlbScheduler final : public HeuristicScheduler {
  public:
   using HeuristicScheduler::HeuristicScheduler;
-  std::vector<sim::Assignment> schedule(const sim::SchedulerContext& context) override;
+  std::vector<sim::Assignment> schedule(
+      const sim::SchedulerContext& context) override;
 
  protected:
   [[nodiscard]] std::string base_name() const override { return "OLB"; }

@@ -43,7 +43,8 @@ std::vector<sim::Assignment> MinMinScheduler::schedule(
     const sim::BatchJob& job = context.jobs[j];
     avail[best_site].reserve(job.nodes, etc.exec(j, best_site), context.now);
     result.push_back({j, best_site});
-    unassigned.erase(unassigned.begin() + static_cast<std::ptrdiff_t>(best_pos));
+    unassigned.erase(unassigned.begin() +
+                     static_cast<std::ptrdiff_t>(best_pos));
   }
   return result;
 }

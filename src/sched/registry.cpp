@@ -48,8 +48,8 @@ std::vector<std::string> heuristic_names() {
   return names;
 }
 
-std::unique_ptr<sim::BatchScheduler> make_heuristic(const std::string& name,
-                                                    security::RiskPolicy policy) {
+std::unique_ptr<sim::BatchScheduler> make_heuristic(
+    const std::string& name, security::RiskPolicy policy) {
   const auto it = registry().find(name);
   if (it == registry().end()) {
     throw std::invalid_argument("unknown heuristic: " + name);

@@ -19,7 +19,7 @@ using SchedulerFactory =
 std::vector<std::string> heuristic_names();
 
 /// Instantiate by name; throws std::invalid_argument for unknown names.
-std::unique_ptr<sim::BatchScheduler> make_heuristic(const std::string& name,
-                                                    security::RiskPolicy policy);
+std::unique_ptr<sim::BatchScheduler> make_heuristic(
+    const std::string& name, security::RiskPolicy policy);
 
 }  // namespace gridsched::sched

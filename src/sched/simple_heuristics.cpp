@@ -43,8 +43,10 @@ std::vector<sim::Assignment> MctScheduler::schedule(
     const sim::SchedulerContext& context) {
   return single_pass(context, policy_,
                      [&](std::size_t j, std::size_t s, const sim::BatchJob& job,
-                         const sim::NodeAvailability& avail, const EtcMatrix& etc) {
-                       return avail.preview(job.nodes, etc.exec(j, s), context.now).end;
+                         const sim::NodeAvailability& avail,
+                         const EtcMatrix& etc) {
+                       return avail.preview(job.nodes, etc.exec(j, s),
+                                            context.now).end;
                      });
 }
 

@@ -63,7 +63,8 @@ std::vector<sim::Assignment> SufferageScheduler::schedule(
     const sim::BatchJob& job = context.jobs[j];
     avail[pick_site].reserve(job.nodes, etc.exec(j, pick_site), context.now);
     result.push_back({j, pick_site});
-    unassigned.erase(unassigned.begin() + static_cast<std::ptrdiff_t>(pick_pos));
+    unassigned.erase(unassigned.begin() +
+                     static_cast<std::ptrdiff_t>(pick_pos));
   }
   return result;
 }

@@ -26,7 +26,8 @@ inline constexpr double kDefaultLambda = 2.5;
 /// Eq. 1: probability that a job with demand `sd` fails on a site with
 /// level `sl`. Zero when sd <= sl; in [0, 1) otherwise, increasing in both
 /// the deficit (sd - sl) and lambda.
-double failure_probability(double sd, double sl, double lambda = kDefaultLambda) noexcept;
+double failure_probability(double sd, double sl,
+                           double lambda = kDefaultLambda) noexcept;
 
 /// True iff the site fully satisfies the demand (no risk at all).
 inline bool is_safe(double sd, double sl) noexcept { return sd <= sl; }
@@ -55,7 +56,8 @@ class RiskPolicy {
   static constexpr RiskPolicy risky(double lambda = kDefaultLambda) noexcept {
     return {RiskMode::kRisky, 1.0, lambda};
   }
-  static constexpr RiskPolicy f_risky(double f, double lambda = kDefaultLambda) noexcept {
+  static constexpr RiskPolicy f_risky(double f,
+                                      double lambda = kDefaultLambda) noexcept {
     return {RiskMode::kFRisky, f, lambda};
   }
 

@@ -12,13 +12,15 @@ double trust_index(const SiteSecurityAttributes& attrs,
   const double weighted =
       weights.defense * std::clamp(attrs.defense_capability, 0.0, 1.0) +
       weights.history * std::clamp(attrs.prior_success_rate, 0.0, 1.0) +
-      weights.authentication * std::clamp(attrs.authentication_strength, 0.0, 1.0) +
+      weights.authentication * std::clamp(attrs.authentication_strength, 0.0,
+                                          1.0) +
       weights.isolation * std::clamp(attrs.isolation_quality, 0.0, 1.0);
   return weighted / total;
 }
 
 SuccessHistory::SuccessHistory(double alpha, double initial) noexcept
-    : alpha_(std::clamp(alpha, 1e-6, 1.0)), rate_(std::clamp(initial, 0.0, 1.0)) {}
+    : alpha_(std::clamp(alpha, 1e-6, 1.0)), rate_(std::clamp(initial, 0.0,
+                                                             1.0)) {}
 
 void SuccessHistory::record(bool success) noexcept {
   rate_ = (1.0 - alpha_) * rate_ + alpha_ * (success ? 1.0 : 0.0);

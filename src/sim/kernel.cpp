@@ -34,9 +34,12 @@ SimKernel::SimKernel(std::vector<SiteConfig> sites, std::vector<Job> jobs,
 
 void SimKernel::validate_workload() const {
   for (const Job& job : jobs_) {
-    if (job.work <= 0.0) throw std::invalid_argument("Engine: job work must be > 0");
-    if (job.nodes == 0) throw std::invalid_argument("Engine: job nodes must be > 0");
-    if (job.arrival < 0.0) throw std::invalid_argument("Engine: negative arrival");
+    if (job.work <= 0.0)
+      throw std::invalid_argument("Engine: job work must be > 0");
+    if (job.nodes == 0)
+      throw std::invalid_argument("Engine: job nodes must be > 0");
+    if (job.arrival < 0.0)
+      throw std::invalid_argument("Engine: negative arrival");
     const bool safe_home = std::any_of(
         sites_.begin(), sites_.end(), [&](const GridSite& site) {
           return site.fits(job.nodes) &&

@@ -52,7 +52,8 @@ struct EngineCounters {
   std::size_t completed_jobs = 0;
   std::size_t failure_events = 0;     ///< failure detections (attempts)
   std::size_t risky_attempts = 0;     ///< dispatches with P(fail) > 0
-  std::size_t batch_invocations = 0;  ///< scheduler calls with a non-empty batch
+  std::size_t batch_invocations =
+      0;  ///< scheduler calls with a non-empty batch
   double scheduler_seconds = 0.0;     ///< wall time inside schedule()
   /// Node reservation tails reclaimed by failure releases.
   std::size_t released_nodes = 0;
@@ -101,7 +102,8 @@ class SimProcess {
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 
   /// Event kinds routed to this process. Must stay constant.
-  [[nodiscard]] virtual std::span<const EventKind> owned_kinds() const noexcept = 0;
+  [[nodiscard]] virtual std::span<const EventKind> owned_kinds()
+      const noexcept = 0;
 
   /// Called once, in registration order, before the event loop.
   virtual void start(SimKernel& kernel) { (void)kernel; }
@@ -116,7 +118,8 @@ class SimProcess {
 class DispatchModel {
  public:
   virtual ~DispatchModel() = default;
-  virtual void dispatch(SimKernel& kernel, JobId job, SiteId site, Time now) = 0;
+  virtual void dispatch(SimKernel& kernel, JobId job, SiteId site,
+                        Time now) = 0;
 };
 
 /// The kernel: event queue + clock + shared state + routing. Construction
@@ -140,17 +143,25 @@ class SimKernel {
   [[nodiscard]] std::vector<Job>& jobs() noexcept { return jobs_; }
   [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
   [[nodiscard]] std::vector<GridSite>& sites() noexcept { return sites_; }
-  [[nodiscard]] const std::vector<GridSite>& sites() const noexcept { return sites_; }
+  [[nodiscard]] const std::vector<GridSite>& sites() const noexcept {
+    return sites_;
+  }
   [[nodiscard]] std::vector<Attempt>& attempts() noexcept { return attempts_; }
   [[nodiscard]] const std::vector<Attempt>& attempts() const noexcept {
     return attempts_;
   }
   [[nodiscard]] std::deque<JobId>& pending() noexcept { return pending_; }
-  [[nodiscard]] const std::deque<JobId>& pending() const noexcept { return pending_; }
+  [[nodiscard]] const std::deque<JobId>& pending() const noexcept {
+    return pending_;
+  }
   [[nodiscard]] EngineCounters& counters() noexcept { return counters_; }
-  [[nodiscard]] const EngineCounters& counters() const noexcept { return counters_; }
+  [[nodiscard]] const EngineCounters& counters() const noexcept {
+    return counters_;
+  }
   [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const ExecModel& exec_model() const noexcept { return exec_model_; }
+  [[nodiscard]] const ExecModel& exec_model() const noexcept {
+    return exec_model_;
+  }
 
   /// max over jobs of finish time (0 before run / for empty workloads).
   [[nodiscard]] Time makespan() const noexcept { return makespan_; }

@@ -36,14 +36,16 @@ void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
   for (const JobId id : kernel.pending()) {
     const Job& job = kernel.jobs()[id];
     context.jobs.push_back(
-        {job.id, job.work, job.nodes, job.demand, job.arrival, job.secure_only});
+        {job.id, job.work, job.nodes, job.demand, job.arrival,
+         job.secure_only});
   }
 
   ++kernel.counters().batch_invocations;
   const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<Assignment> assignments = scheduler_.schedule(context);
   kernel.counters().scheduler_seconds +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
           .count();
 
   // Validate and apply in the order the scheduler chose.
@@ -67,11 +69,13 @@ void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
           "scheduler placed a job on a site that is currently down");
     }
     if (!site.fits(job.nodes)) {
-      throw std::logic_error("scheduler placed a job on a site it does not fit");
+      throw std::logic_error(
+          "scheduler placed a job on a site it does not fit");
     }
     if (job.secure_only && !security::is_safe(job.demand, site.security())) {
       throw std::logic_error(
-          "scheduler violated the fail-stop rule (secure_only job on risky site)");
+          "scheduler violated the fail-stop rule (secure_only job on "
+          "risky site)");
     }
     dispatcher_.dispatch(kernel, job_id, assignment.site, now);
   }

@@ -20,7 +20,8 @@ class BatchCycleProcess final : public SimProcess {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "batch-cycle";
   }
-  [[nodiscard]] std::span<const EventKind> owned_kinds() const noexcept override;
+  [[nodiscard]] std::span<const EventKind> owned_kinds()
+      const noexcept override;
 
   void handle(SimKernel& kernel, const Event& event) override;
 

@@ -6,7 +6,8 @@
 
 namespace gridsched::sim {
 
-std::span<const EventKind> SecurityFailureProcess::owned_kinds() const noexcept {
+std::span<const EventKind> SecurityFailureProcess::owned_kinds()
+    const noexcept {
   static constexpr EventKind kKinds[] = {EventKind::kJobEnd};
   return kKinds;
 }
@@ -37,9 +38,11 @@ void SecurityFailureProcess::dispatch(SimKernel& kernel, JobId job_id,
   // algorithm, which removes a large cross-algorithm noise term from the
   // paired comparisons the paper makes (DESIGN.md §5.5).
   util::SplitMix64 draw(config.seed ^
-                        0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(job_id) + 1) ^
+                        0x9e3779b97f4a7c15ULL *
+                            (static_cast<std::uint64_t>(job_id) + 1) ^
                         0xc2b2ae3d27d4eb4fULL * (job.attempts + 1ULL));
-  const double failure_ticket = static_cast<double>(draw.next() >> 11) * 0x1.0p-53;
+  const double failure_ticket = static_cast<double>(draw.next() >> 11) *
+      0x1.0p-53;
   bool will_fail = false;
   if (p_fail > 0.0) {
     ++kernel.counters().risky_attempts;

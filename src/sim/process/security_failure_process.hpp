@@ -20,7 +20,8 @@ class SecurityFailureProcess final : public SimProcess, public DispatchModel {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "security-failure";
   }
-  [[nodiscard]] std::span<const EventKind> owned_kinds() const noexcept override;
+  [[nodiscard]] std::span<const EventKind> owned_kinds()
+      const noexcept override;
 
   /// Reserve `site` for `job` no earlier than `now`, draw the failure
   /// outcome, push the end event.

@@ -41,7 +41,8 @@ class SiteChurnProcess final : public SimProcess {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "site-churn";
   }
-  [[nodiscard]] std::span<const EventKind> owned_kinds() const noexcept override;
+  [[nodiscard]] std::span<const EventKind> owned_kinds()
+      const noexcept override;
 
   void start(SimKernel& kernel) override;
   void handle(SimKernel& kernel, const Event& event) override;

@@ -51,7 +51,8 @@ struct SchedulerContext {
 
   /// Execution time of batch job `job` on site index `s`, resolved through
   /// the execution model (matrix rows are keyed by the job's global id).
-  [[nodiscard]] double exec_time(const BatchJob& job, std::size_t s) const noexcept {
+  [[nodiscard]] double exec_time(const BatchJob& job,
+                                 std::size_t s) const noexcept {
     return exec.exec(job.id, job.work, static_cast<SiteId>(s), sites[s].speed);
   }
 };

@@ -6,12 +6,14 @@
 namespace gridsched::sim {
 
 NodeAvailability::NodeAvailability(unsigned nodes, Time t0) : free_(nodes, t0) {
-  if (nodes == 0) throw std::invalid_argument("NodeAvailability: nodes must be > 0");
+  if (nodes == 0)
+    throw std::invalid_argument("NodeAvailability: nodes must be > 0");
 }
 
 Time NodeAvailability::earliest_start(unsigned k, Time now) const {
   if (k == 0 || k > free_.size()) {
-    throw std::invalid_argument("NodeAvailability::earliest_start: bad node count");
+    throw std::invalid_argument(
+        "NodeAvailability::earliest_start: bad node count");
   }
   // free_ is sorted ascending: k nodes are simultaneously free once the
   // k-th earliest becomes free.
@@ -24,7 +26,8 @@ NodeAvailability::Window NodeAvailability::preview(unsigned k, double exec,
   return {start, start + exec};
 }
 
-NodeAvailability::Window NodeAvailability::reserve(unsigned k, double exec, Time now) {
+NodeAvailability::Window NodeAvailability::reserve(unsigned k, double exec,
+                                                   Time now) {
   const Window window = preview(k, exec, now);
   // The k earliest-free nodes are all idle by window.start; occupy them.
   for (unsigned i = 0; i < k; ++i) free_[i] = window.end;
@@ -37,7 +40,8 @@ NodeAvailability::Window NodeAvailability::reserve(unsigned k, double exec, Time
 unsigned NodeAvailability::release(unsigned k, Time reserved_end,
                                    Time release_at) {
   if (release_at > reserved_end) {
-    throw std::invalid_argument("NodeAvailability::release: release_at is late");
+    throw std::invalid_argument(
+        "NodeAvailability::release: release_at is late");
   }
   // Entries equal to reserved_end form a contiguous run in the sorted
   // profile; any node re-reserved since has a strictly larger free time.
@@ -59,7 +63,8 @@ GridSite::GridSite(SiteConfig config)
   }
 }
 
-NodeAvailability::Window GridSite::dispatch(unsigned job_nodes, double exec, Time now) {
+NodeAvailability::Window GridSite::dispatch(unsigned job_nodes, double exec,
+                                            Time now) {
   if (!fits(job_nodes)) {
     throw std::invalid_argument("GridSite::dispatch: job does not fit site");
   }

@@ -32,7 +32,9 @@ struct SiteChurnParams {
   double mtbf = 0.0;  ///< mean up-time between failures (seconds)
   double mttr = 0.0;  ///< mean outage duration (seconds)
 
-  [[nodiscard]] bool churns() const noexcept { return mtbf > 0.0 && mttr > 0.0; }
+  [[nodiscard]] bool churns() const noexcept {
+    return mtbf > 0.0 && mttr > 0.0;
+  }
 };
 
 /// Sorted multiset of per-node free times with reservation operations.
@@ -68,7 +70,9 @@ class NodeAvailability {
   unsigned release(unsigned k, Time reserved_end, Time release_at);
 
   /// Sorted ascending free times, one entry per node.
-  [[nodiscard]] const std::vector<Time>& free_times() const noexcept { return free_; }
+  [[nodiscard]] const std::vector<Time>& free_times() const noexcept {
+    return free_;
+  }
 
  private:
   std::vector<Time> free_;
@@ -90,7 +94,9 @@ class GridSite {
     return job_nodes <= config_.nodes;
   }
 
-  [[nodiscard]] const NodeAvailability& availability() const noexcept { return avail_; }
+  [[nodiscard]] const NodeAvailability& availability() const noexcept {
+    return avail_;
+  }
 
   /// Commit a reservation for a job needing `job_nodes` nodes and `exec`
   /// seconds (resolved by the caller through the ExecModel), starting no
@@ -108,12 +114,16 @@ class GridSite {
   /// failed runs until the failure was detected).
   void account_busy(unsigned job_nodes, double duration) noexcept;
 
-  [[nodiscard]] double busy_node_seconds() const noexcept { return busy_node_seconds_; }
+  [[nodiscard]] double busy_node_seconds() const noexcept {
+    return busy_node_seconds_;
+  }
 
   /// Utilization in [0, 1] over the horizon [0, horizon].
   [[nodiscard]] double utilization(Time horizon) const noexcept;
 
-  [[nodiscard]] std::size_t dispatched_jobs() const noexcept { return dispatched_; }
+  [[nodiscard]] std::size_t dispatched_jobs() const noexcept {
+    return dispatched_;
+  }
 
  private:
   SiteConfig config_;

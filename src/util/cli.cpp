@@ -44,7 +44,8 @@ double Cli::get_or(const std::string& name, double fallback) const {
   char* end = nullptr;
   const double parsed = std::strtod(value->c_str(), &end);
   if (end == value->c_str()) {
-    throw std::invalid_argument("Cli: flag --" + name + " is not a number: " + *value);
+    throw std::invalid_argument("Cli: flag --" + name + " is not a number: " +
+                                *value);
   }
   return parsed;
 }
@@ -55,7 +56,8 @@ std::int64_t Cli::get_or(const std::string& name, std::int64_t fallback) const {
   char* end = nullptr;
   const long long parsed = std::strtoll(value->c_str(), &end, 10);
   if (end == value->c_str()) {
-    throw std::invalid_argument("Cli: flag --" + name + " is not an integer: " + *value);
+    throw std::invalid_argument("Cli: flag --" + name + " is not an integer: " +
+                                *value);
   }
   return parsed;
 }

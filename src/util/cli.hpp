@@ -17,18 +17,20 @@ class Cli {
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
-  [[nodiscard]] std::string get_or(const std::string& name, std::string fallback) const;
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   std::string fallback) const;
   [[nodiscard]] double get_or(const std::string& name, double fallback) const;
-  [[nodiscard]] std::int64_t get_or(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] std::int64_t get_or(const std::string& name,
+                                    std::int64_t fallback) const;
   [[nodiscard]] bool get_or(const std::string& name, bool fallback) const;
 
   /// Enumerated flag: returns the value (or `fallback` when absent) after
   /// validating it against `choices`; throws std::invalid_argument listing
   /// the valid choices otherwise. Used for registry-backed flags such as
   /// --scenario and --algo.
-  [[nodiscard]] std::string get_choice(const std::string& name,
-                                       std::string fallback,
-                                       std::span<const std::string> choices) const;
+  [[nodiscard]] std::string get_choice(
+      const std::string& name, std::string fallback,
+      std::span<const std::string> choices) const;
 
   /// Non-flag arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {

@@ -9,7 +9,8 @@ namespace gridsched::util {
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
       counts_(buckets, 0) {
-  if (buckets == 0) throw std::invalid_argument("Histogram: buckets must be > 0");
+  if (buckets == 0)
+    throw std::invalid_argument("Histogram: buckets must be > 0");
   if (!(hi > lo)) throw std::invalid_argument("Histogram: need hi > lo");
 }
 

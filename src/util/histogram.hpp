@@ -14,8 +14,12 @@ class Histogram {
 
   void add(double x) noexcept;
 
-  [[nodiscard]] std::size_t bucket_count() const noexcept { return counts_.size(); }
-  [[nodiscard]] std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const {
+    return counts_.at(bucket);
+  }
   [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }

@@ -343,13 +343,15 @@ class Parser {
     if (peek() == '0') {
       ++pos_;  // leading zero admits no further integer digits
     } else {
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
     if (consume('.')) {
       if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
         fail("digit required after decimal point");
       }
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
     if (!at_end() && (peek() == 'e' || peek() == 'E')) {
       ++pos_;
@@ -357,7 +359,8 @@ class Parser {
       if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
         fail("digit required in exponent");
       }
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+      while (!at_end() &&
+             std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
     // The grammar above admits exactly what strtod parses; null-terminate
     // via a local copy since string_view is not guaranteed terminated.

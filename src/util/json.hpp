@@ -41,10 +41,16 @@ class Value {
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
   [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
   [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
-  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::kNumber; }
-  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
   [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
-  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
 
   /// Typed accessors; throw std::runtime_error naming the actual kind on
   /// mismatch so spec errors read well ("expected number, got string").

@@ -15,35 +15,44 @@ LogLevel log_level() noexcept;
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {
-std::string format_log(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string format_log(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 }  // namespace detail
 
-#define GS_LOG_DEBUG(...)                                               \
-  do {                                                                  \
-    if (::gridsched::util::log_level() <= ::gridsched::util::LogLevel::kDebug) \
-      ::gridsched::util::log_message(::gridsched::util::LogLevel::kDebug,     \
-                                     ::gridsched::util::detail::format_log(__VA_ARGS__)); \
+#define GS_LOG_DEBUG(...)                                         \
+  do {                                                            \
+    if (::gridsched::util::log_level() <=                         \
+        ::gridsched::util::LogLevel::kDebug)                      \
+      ::gridsched::util::log_message(                             \
+          ::gridsched::util::LogLevel::kDebug,                    \
+          ::gridsched::util::detail::format_log(__VA_ARGS__));    \
   } while (0)
 
-#define GS_LOG_INFO(...)                                                \
-  do {                                                                  \
-    if (::gridsched::util::log_level() <= ::gridsched::util::LogLevel::kInfo) \
-      ::gridsched::util::log_message(::gridsched::util::LogLevel::kInfo,      \
-                                     ::gridsched::util::detail::format_log(__VA_ARGS__)); \
+#define GS_LOG_INFO(...)                                          \
+  do {                                                            \
+    if (::gridsched::util::log_level() <=                         \
+        ::gridsched::util::LogLevel::kInfo)                       \
+      ::gridsched::util::log_message(                             \
+          ::gridsched::util::LogLevel::kInfo,                     \
+          ::gridsched::util::detail::format_log(__VA_ARGS__));    \
   } while (0)
 
-#define GS_LOG_WARN(...)                                                \
-  do {                                                                  \
-    if (::gridsched::util::log_level() <= ::gridsched::util::LogLevel::kWarn) \
-      ::gridsched::util::log_message(::gridsched::util::LogLevel::kWarn,      \
-                                     ::gridsched::util::detail::format_log(__VA_ARGS__)); \
+#define GS_LOG_WARN(...)                                          \
+  do {                                                            \
+    if (::gridsched::util::log_level() <=                         \
+        ::gridsched::util::LogLevel::kWarn)                       \
+      ::gridsched::util::log_message(                             \
+          ::gridsched::util::LogLevel::kWarn,                     \
+          ::gridsched::util::detail::format_log(__VA_ARGS__));    \
   } while (0)
 
-#define GS_LOG_ERROR(...)                                               \
-  do {                                                                  \
-    if (::gridsched::util::log_level() <= ::gridsched::util::LogLevel::kError) \
-      ::gridsched::util::log_message(::gridsched::util::LogLevel::kError,     \
-                                     ::gridsched::util::detail::format_log(__VA_ARGS__)); \
+#define GS_LOG_ERROR(...)                                         \
+  do {                                                            \
+    if (::gridsched::util::log_level() <=                         \
+        ::gridsched::util::LogLevel::kError)                      \
+      ::gridsched::util::log_message(                             \
+          ::gridsched::util::LogLevel::kError,                    \
+          ::gridsched::util::detail::format_log(__VA_ARGS__));    \
   } while (0)
 
 }  // namespace gridsched::util

@@ -89,7 +89,8 @@ class Xoshiro256StarStar {
  public:
   using result_type = std::uint64_t;
 
-  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9a1b3c5d7e9f0123ULL) noexcept;
+  explicit Xoshiro256StarStar(std::uint64_t seed =
+                              0x9a1b3c5d7e9f0123ULL) noexcept;
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
@@ -102,7 +103,9 @@ class Xoshiro256StarStar {
   /// subsequences.
   void long_jump() noexcept;
 
-  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept { return s_; }
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept {
+    return s_;
+  }
 
  private:
   std::array<std::uint64_t, 4> s_;
@@ -115,7 +118,8 @@ class Rng {
   explicit Rng(std::uint64_t seed = 42) noexcept : gen_(seed) {}
 
   /// Derive an independent child stream; deterministic in (seed, index).
-  [[nodiscard]] static Rng child(std::uint64_t master_seed, std::uint64_t index) noexcept {
+  [[nodiscard]] static Rng child(std::uint64_t master_seed,
+                                 std::uint64_t index) noexcept {
     SplitMix64 mix(master_seed ^ (0xc2b2ae3d27d4eb4fULL * (index + 1)));
     return Rng(mix.next());
   }
@@ -137,7 +141,9 @@ class Rng {
 
   /// Uniform index in [0, n). Requires n > 0.
   std::size_t index(std::size_t n) noexcept {
-    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    return static_cast<std::size_t>(uniform_int(0,
+                                                static_cast<std::int64_t>(n) -
+                                                    1));
   }
 
   bool bernoulli(double p) noexcept { return uniform() < p; }
@@ -147,10 +153,14 @@ class Rng {
 
   /// Standard normal via Marsaglia polar method (cached spare).
   double normal() noexcept;
-  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
 
   /// Lognormal: exp(N(mu, sigma)).
-  double lognormal(double mu, double sigma) noexcept { return std::exp(normal(mu, sigma)); }
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
 
   /// Pick an element uniformly from a non-empty span.
   template <typename T>

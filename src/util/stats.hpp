@@ -17,7 +17,9 @@ class RunningStats {
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
-  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  [[nodiscard]] double sum() const noexcept {
+    return mean_ * static_cast<double>(n_);
+  }
   /// Sample variance (n-1 denominator); 0 for n < 2.
   [[nodiscard]] double variance() const noexcept;
   [[nodiscard]] double stddev() const noexcept;

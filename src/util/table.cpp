@@ -45,7 +45,8 @@ const std::string& Table::at(std::size_t r, std::size_t c) const {
 
 std::string Table::str() const {
   std::vector<std::size_t> widths(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] =
+      headers_[c].size();
   for (const auto& row : cells_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       widths[c] = std::max(widths[c], row[c].size());
@@ -55,7 +56,8 @@ std::string Table::str() const {
     for (std::size_t c = 0; c < headers_.size(); ++c) {
       const std::string& text = c < row.size() ? row[c] : std::string{};
       out += text;
-      out.append(widths[c] - text.size() + (c + 1 < headers_.size() ? 2 : 0), ' ');
+      out.append(widths[c] - text.size() + (c + 1 < headers_.size() ? 2 : 0),
+                 ' ');
     }
     while (!out.empty() && out.back() == ' ') out.pop_back();
     out += '\n';

@@ -48,7 +48,8 @@ std::vector<sim::Job> nas_jobs(const NasTraceConfig& config,
 
   const unsigned max_site_nodes =
       std::max_element(sites.begin(), sites.end(),
-                       [](const auto& a, const auto& b) { return a.nodes < b.nodes; })
+                       [](const auto& a,
+                          const auto& b) { return a.nodes < b.nodes; })
           ->nodes;
 
   // Arrival times by rejection sampling against the intensity envelope.

@@ -18,9 +18,11 @@ std::vector<sim::SiteChurnParams> churn_params(std::size_t n_sites,
   std::vector<sim::SiteChurnParams> params(n_sites);
   for (sim::SiteChurnParams& site : params) {
     site.mtbf =
-        config.mtbf_mean * rng.uniform(1.0 - config.spread, 1.0 + config.spread);
+        config.mtbf_mean * rng.uniform(1.0 - config.spread,
+                                       1.0 + config.spread);
     site.mttr =
-        config.mttr_mean * rng.uniform(1.0 - config.spread, 1.0 + config.spread);
+        config.mttr_mean * rng.uniform(1.0 - config.spread,
+                                       1.0 + config.spread);
   }
   return params;
 }

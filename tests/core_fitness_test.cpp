@@ -13,7 +13,8 @@ sim::SchedulerContext small_context() {
   sim::SchedulerContext context;
   context.now = 0.0;
   context.sites = {{0, 1, 1.0, 0.9}, {1, 1, 2.0, 0.5}};
-  context.avail = {sim::NodeAvailability(1, 0.0), sim::NodeAvailability(1, 0.0)};
+  context.avail = {sim::NodeAvailability(1, 0.0), sim::NodeAvailability(1,
+                                                                        0.0)};
   sim::BatchJob a;
   a.id = 0;
   a.work = 10.0;
@@ -182,14 +183,17 @@ TEST_P(FitnessProperty, MatchesBruteForceReplay) {
     // Brute force: sort (exec, index), replay reservations.
     std::vector<std::size_t> order(chromosome.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return problem.exec_at(a, chromosome[a]) < problem.exec_at(b, chromosome[b]);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                     std::size_t b) {
+      return problem.exec_at(a, chromosome[a]) < problem.exec_at(b,
+                                                                 chromosome[b]);
     });
     std::vector<sim::NodeAvailability> avail = problem.avail;
     double expected = problem.now;
     for (const std::size_t j : order) {
       const auto window = avail[chromosome[j]].reserve(
-          problem.jobs[j].nodes, problem.exec_at(j, chromosome[j]), problem.now);
+          problem.jobs[j].nodes, problem.exec_at(j,
+                                                 chromosome[j]), problem.now);
       expected = std::max(expected, window.end);
     }
     EXPECT_DOUBLE_EQ(batch_makespan(problem, chromosome), expected);

@@ -30,7 +30,8 @@ GaProblem spread_problem(std::size_t n_jobs = 8, std::size_t n_sites = 4) {
   return build_problem(context, security::RiskPolicy::risky());
 }
 
-GaParams quick_params(std::size_t population = 40, std::size_t generations = 30) {
+GaParams quick_params(std::size_t population = 40,
+                      std::size_t generations = 30) {
   GaParams params;
   params.population = population;
   params.generations = generations;
@@ -134,7 +135,8 @@ TEST(Evolve, TruncatesOversizedInitialPopulation) {
   const auto problem = spread_problem(4, 2);
   util::Rng seed_rng(1);
   std::vector<Chromosome> initial;
-  for (int i = 0; i < 100; ++i) initial.push_back(random_chromosome(problem, seed_rng));
+  for (int i = 0; i < 100; ++i) initial.push_back(random_chromosome(problem,
+                                                                    seed_rng));
   GaParams params = quick_params(10, 5);
   util::Rng rng(2);
   const GaResult result = evolve(problem, std::move(initial), params, rng);

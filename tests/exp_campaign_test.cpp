@@ -223,7 +223,8 @@ TEST(CampaignRunner, ProgressCallbackSeesEveryCell) {
   options.threads = 2;
   std::size_t calls = 0;
   std::size_t last_done = 0;
-  options.on_cell = [&](const CellResult&, std::size_t done, std::size_t total) {
+  options.on_cell = [&](const CellResult&, std::size_t done,
+                        std::size_t total) {
     ++calls;
     EXPECT_EQ(total, 8u);
     EXPECT_GT(done, last_done);  // the mutex serialises increments

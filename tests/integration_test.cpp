@@ -132,7 +132,8 @@ TEST(Integration, ReplicatedRunsMatchSequentialAndParallel) {
   ASSERT_EQ(parallel.runs.size(), 4u);
   for (std::size_t r = 0; r < 4; ++r) {
     EXPECT_DOUBLE_EQ(serial.runs[r].makespan, parallel.runs[r].makespan);
-    EXPECT_DOUBLE_EQ(serial.runs[r].avg_response, parallel.runs[r].avg_response);
+    EXPECT_DOUBLE_EQ(serial.runs[r].avg_response,
+                     parallel.runs[r].avg_response);
   }
   EXPECT_EQ(serial.aggregate.runs(), 4u);
   EXPECT_NEAR(serial.aggregate.makespan().mean(),
@@ -197,7 +198,8 @@ TEST(Integration, StgaSchedulerSecondsAreRecorded) {
 
 TEST(Integration, ClassicGaAlsoCompletes) {
   const auto scenario = tiny_psa(60);
-  const auto run = exp::run_once(scenario, exp::classic_ga_spec(tiny_stga()), 17);
+  const auto run = exp::run_once(scenario, exp::classic_ga_spec(tiny_stga()),
+                                 17);
   check_invariants(run, 60, "GA");
 }
 

@@ -21,7 +21,8 @@ sim::Engine deterministic_run() {
   sim::EngineConfig config;
   config.batch_interval = 50.0;
   sim::Engine engine({{0, 1, 1.0, 1.0}},
-                     {make_job(10.0, 100.0, 1, 0.8), make_job(20.0, 50.0, 1, 0.8)},
+                     {make_job(10.0, 100.0, 1, 0.8), make_job(20.0, 50.0, 1,
+                                                              0.8)},
                      config);
   static sched::MctScheduler scheduler(security::RiskPolicy::secure());
   engine.run(scheduler);

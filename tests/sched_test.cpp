@@ -224,7 +224,8 @@ TEST(Olb, BalancesByAvailabilityOnly) {
 
 TEST(Heuristics, SecureModeLeavesUnsafeJobsPending) {
   auto context = make_context({{0, 1, 1.0, 0.5}},
-                              {batch_job(10.0, 1, 0.9), batch_job(5.0, 1, 0.4)});
+                              {batch_job(10.0, 1, 0.9), batch_job(5.0, 1,
+                                                                  0.4)});
   MinMinScheduler scheduler(security::RiskPolicy::secure());
   const auto assignments = scheduler.schedule(context);
   ASSERT_EQ(assignments.size(), 1u);  // only the demand-0.4 job fits safely
@@ -247,7 +248,8 @@ class HeuristicProperty
 
 TEST_P(HeuristicProperty, AssignmentsAreValidAndRiskBounded) {
   const auto& [name, f] = GetParam();
-  util::Rng rng(std::hash<std::string>{}(name) + static_cast<std::uint64_t>(f * 100));
+  util::Rng rng(std::hash<std::string>{}(name) + static_cast<std::uint64_t>(f *
+      100));
   for (int instance = 0; instance < 20; ++instance) {
     std::vector<sim::SiteConfig> sites;
     const std::size_t n_sites = 2 + rng.index(6);

@@ -52,7 +52,8 @@ class ScriptedScheduler final : public BatchScheduler {
     ++call_;
     if (respect_mask_ && !context.site_usable(site)) return {};
     std::vector<Assignment> out;
-    for (std::size_t j = 0; j < context.jobs.size(); ++j) out.push_back({j, site});
+    for (std::size_t j = 0; j < context.jobs.size(); ++j) out.push_back({j,
+                                                                         site});
     return out;
   }
 
@@ -225,7 +226,8 @@ TEST(SiteChurn, ScriptedOutageValidation) {
   // represent nested downtime); the same windows on distinct sites are
   // fine, as are back-to-back outages sharing an endpoint.
   EXPECT_THROW(
-      SiteChurnProcess({SiteOutage{0, 10.0, 100.0}, SiteOutage{0, 50.0, 200.0}}),
+      SiteChurnProcess({SiteOutage{0, 10.0, 100.0}, SiteOutage{0, 50.0,
+                                                               200.0}}),
       std::invalid_argument);
   EXPECT_NO_THROW(SiteChurnProcess(
       {SiteOutage{0, 10.0, 100.0}, SiteOutage{1, 50.0, 200.0}}));

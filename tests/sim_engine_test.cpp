@@ -33,7 +33,8 @@ class ScriptedScheduler final : public BatchScheduler {
     const SiteId site = sequence_[std::min(call_, sequence_.size() - 1)];
     ++call_;
     std::vector<Assignment> out;
-    for (std::size_t j = 0; j < context.jobs.size(); ++j) out.push_back({j, site});
+    for (std::size_t j = 0; j < context.jobs.size(); ++j) out.push_back({j,
+                                                                         site});
     return out;
   }
 
@@ -46,7 +47,9 @@ class ScriptedScheduler final : public BatchScheduler {
 class RefusingScheduler final : public BatchScheduler {
  public:
   [[nodiscard]] std::string name() const override { return "refuser"; }
-  std::vector<Assignment> schedule(const SchedulerContext&) override { return {}; }
+  std::vector<Assignment> schedule(const SchedulerContext&) override { return {
+    };
+  }
 };
 
 /// Scheduler emitting a caller-supplied raw assignment list once.
@@ -313,7 +316,8 @@ TEST(Engine, DifferentSeedsChangeFailureOutcomes) {
     config.lambda = 3.0;
     config.seed = seed;
     std::vector<Job> jobs;
-    for (int i = 0; i < 60; ++i) jobs.push_back(make_job(i * 5.0, 20.0, 1, 0.85));
+    for (int i = 0; i < 60; ++i) jobs.push_back(make_job(i * 5.0, 20.0, 1,
+                                                         0.85));
     Engine engine({{0, 4, 1.0, 0.45}, {1, 2, 1.0, 0.95}}, jobs, config);
     sched::MctScheduler scheduler(security::RiskPolicy::risky());
     engine.run(scheduler);

@@ -22,8 +22,10 @@ TEST(NodeAvailability, InitiallyFreeAtT0) {
 
 TEST(NodeAvailability, EarliestStartValidatesK) {
   const NodeAvailability avail(3);
-  EXPECT_THROW(static_cast<void>(avail.earliest_start(0, 0.0)), std::invalid_argument);
-  EXPECT_THROW(static_cast<void>(avail.earliest_start(4, 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(avail.earliest_start(0, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(avail.earliest_start(4, 0.0)),
+               std::invalid_argument);
 }
 
 TEST(NodeAvailability, EarliestStartIsNowWhenIdle) {

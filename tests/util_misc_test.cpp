@@ -111,7 +111,8 @@ TEST(Cli, BooleanFlagWithoutValue) {
 }
 
 TEST(Cli, BooleanSpellings) {
-  const auto argv = argv_of({"prog", "--a=yes", "--b=0", "--c=on", "--d=false"});
+  const auto argv = argv_of({"prog", "--a=yes", "--b=0", "--c=on",
+                             "--d=false"});
   Cli cli(static_cast<int>(argv.size()), argv.data());
   EXPECT_TRUE(cli.get_or("a", false));
   EXPECT_FALSE(cli.get_or("b", true));

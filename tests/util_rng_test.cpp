@@ -285,7 +285,8 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair<std::int64_t, std::int64_t>{0, 6},
                       std::pair<std::int64_t, std::int64_t>{-100, 100},
                       std::pair<std::int64_t, std::int64_t>{1, 1000000},
-                      std::pair<std::int64_t, std::int64_t>{-1000000, -999990}));
+                      std::pair<std::int64_t, std::int64_t>{-1000000,
+                                                            -999990}));
 
 }  // namespace
 }  // namespace gridsched::util

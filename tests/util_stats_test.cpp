@@ -53,7 +53,8 @@ TEST(RunningStats, MatchesNaiveOnRandomData) {
   double ss = 0.0;
   for (const double v : data) ss += (v - mean) * (v - mean);
   EXPECT_NEAR(stats.mean(), mean, 1e-9);
-  EXPECT_NEAR(stats.variance(), ss / static_cast<double>(data.size() - 1), 1e-9);
+  EXPECT_NEAR(stats.variance(), ss / static_cast<double>(data.size() - 1),
+              1e-9);
 }
 
 TEST(RunningStats, MergeEqualsSequential) {

@@ -415,10 +415,12 @@ TEST(TraceIo, MalformedEtcSectionsThrow) {
   // Wrong cell count in a row.
   std::stringstream short_row(job_line + ";etc v1 1 2\n;etc-row 0 1.0\n");
   EXPECT_THROW(read_jobs_trace(short_row), std::runtime_error);
-  std::stringstream long_row(job_line + ";etc v1 1 2\n;etc-row 0 1.0 2.0 3.0\n");
+  std::stringstream long_row(job_line +
+                             ";etc v1 1 2\n;etc-row 0 1.0 2.0 3.0\n");
   EXPECT_THROW(read_jobs_trace(long_row), std::runtime_error);
   // Shape disagrees with the job list.
-  std::stringstream wrong_jobs(job_line + ";etc v1 2 1\n;etc-row 0 1.0\n;etc-row 1 2.0\n");
+  std::stringstream wrong_jobs(job_line +
+                               ";etc v1 2 1\n;etc-row 0 1.0\n;etc-row 1 2.0\n");
   EXPECT_THROW(read_jobs_trace(wrong_jobs), std::runtime_error);
   // Non-positive cells are rejected by the ExecModel invariant.
   std::stringstream bad_cell(job_line + ";etc v1 1 2\n;etc-row 0 1.0 -2.0\n");
@@ -444,7 +446,8 @@ TEST(TraceIo, WriteRejectsEtcShapeMismatch) {
 TEST(TraceIo, SynthWorkloadEtcRoundTripsThroughFiles) {
   // End to end: a raw-ETC scenario serialises through generate-style
   // writes and replays with the exact same matrix.
-  const exp::Scenario scenario = exp::make_scenario("synth-inconsistent-hihi", 30);
+  const exp::Scenario scenario = exp::make_scenario("synth-inconsistent-hihi",
+                                                    30);
   const Workload workload = exp::make_workload(scenario, 11);
   ASSERT_TRUE(workload.exec.has_matrix());
   const std::string path = testing::TempDir() + "synth_etc.trace";
