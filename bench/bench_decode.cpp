@@ -222,6 +222,44 @@ int main(int argc, char** argv) {
       evolve_ms, static_cast<unsigned long long>(result.evaluations),
       static_cast<unsigned long long>(result.memo_hits), speedup);
 
+  // --- observability overhead -----------------------------------------------
+  // The same evolve with a GaProfile attached: the per-generation clock
+  // reads and profile rows are the only extra work, and the GaResult must
+  // stay bit-identical. --check-overhead=PCT turns the measurement into
+  // an exit-code assertion so CI can gate regressions.
+  util::Rng profiled_rng = util::SeedMix(args.seed).mix("ga").rng();
+  core::GaProfile profile;
+  start = Clock::now();
+  const core::GaResult profiled =
+      core::evolve(problem, {}, ga, profiled_rng, nullptr, &profile);
+  const double profiled_ms = elapsed_ms(start);
+  sink += profiled.best_fitness;
+  if (profiled.best_fitness != result.best_fitness ||
+      profiled.evaluations != result.evaluations) {
+    std::fprintf(stderr,
+                 "FAIL: profiled evolve() diverged from the unprofiled "
+                 "run (profiling must be observation-only)\n");
+    return 1;
+  }
+  const double overhead_pct =
+      evolve_ms > 0.0 ? (profiled_ms - evolve_ms) / evolve_ms * 100.0 : 0.0;
+  std::printf(
+      "  evolve() with GaProfile   : %.1f ms (%zu generation rows, "
+      "%+.2f%% overhead)\n"
+      "  peak RSS                  : %.1f MiB\n",
+      profiled_ms, profile.generations.size(), overhead_pct,
+      static_cast<double>(obs::peak_rss_bytes()) / 1048576.0);
+  if (const auto limit = cli.get("check-overhead")) {
+    const double max_pct = std::stod(*limit);
+    if (overhead_pct > max_pct) {
+      std::fprintf(stderr,
+                   "FAIL: GA profiling overhead %.2f%% exceeds the "
+                   "--check-overhead=%.2f%% budget\n",
+                   overhead_pct, max_pct);
+      return 1;
+    }
+  }
+
   // --- JSON -----------------------------------------------------------------
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -252,10 +290,16 @@ int main(int argc, char** argv) {
       "  \"ga_batch\": {\"n_jobs\": %zu, \"n_sites\": 16, \"population\": "
       "%zu, \"generations\": %zu, \"reference_eval_bill_ms\": %.2f, "
       "\"evolve_ms\": %.2f, \"per_batch_speedup\": %.3f, \"evaluations\": "
-      "%llu, \"memo_hits\": %llu}\n",
+      "%llu, \"memo_hits\": %llu},\n",
       ga_jobs, population, generations, reference_bill_ms, evolve_ms, speedup,
       static_cast<unsigned long long>(result.evaluations),
       static_cast<unsigned long long>(result.memo_hits));
+  std::fprintf(
+      out,
+      "  \"observability\": {\"profiled_evolve_ms\": %.2f, "
+      "\"profile_overhead_pct\": %.3f, \"peak_rss_bytes\": %llu}\n",
+      profiled_ms, overhead_pct,
+      static_cast<unsigned long long>(obs::peak_rss_bytes()));
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());

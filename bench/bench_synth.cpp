@@ -70,9 +70,17 @@ int main(int argc, char** argv) {
   exp::campaign::CampaignRunner runner(options);
   const exp::campaign::CampaignResult result = runner.run(spec);
   std::printf("%s\n", exp::campaign::render_table(result).c_str());
+  // Wall clock and memory stay out of any --out-json artifact (that one
+  // is byte-stable); they live on the human-facing footer only.
+  std::printf("peak RSS: %.1f MiB\n",
+              static_cast<double>(obs::peak_rss_bytes()) / 1048576.0);
 
   if (const auto path = cli.get("out-json")) {
     exp::campaign::JsonFileSink(*path).consume(result);
+    std::printf("wrote %s\n", path->c_str());
+  }
+  if (const auto path = cli.get("profile")) {
+    exp::campaign::ProfileFileSink(*path).consume(result);
     std::printf("wrote %s\n", path->c_str());
   }
   return 0;

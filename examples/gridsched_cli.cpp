@@ -10,22 +10,31 @@
 //   run       [--trace=F --sites=F | --scenario=NAME [--jobs=N]] --algo=NAME
 //             --mode=secure|f-risky|risky [--f=0.5] [--seed=S]
 //             [--batch-interval=T] [--lambda=L] [--csv]
+//             [--trace-events=F] [--metrics=F] [--ga-profile=F]
 //             Simulate and print the paper's metrics. --algo is one of the
 //             registry heuristics ("min-min", "sufferage", "max-min",
-//             "mct", "met", "olb"), "stga" or "ga".
+//             "mct", "met", "olb"), "stga" or "ga". --trace-events writes
+//             a Chrome trace_event JSON timeline (chrome://tracing /
+//             Perfetto), --metrics a kernel metric snapshot, --ga-profile
+//             per-generation GA convergence profiles (GA algos only).
 //   roster    [--scenario=NAME --jobs=N --reps=R --seed=S]
 //             Run the paper's 7-algorithm comparison.
 //   campaign  SPEC.json [--threads=N] [--dry-run] [--out-json=F]
-//             [--out-csv=F] [--quiet]
+//             [--out-csv=F] [--profile=F] [--progress] [--quiet]
 //             Run a declarative experiment campaign (scenario x policy x
 //             replication grid; see examples/campaigns/ and the README
 //             "Campaigns" section). --dry-run lists the expanded run
 //             matrix without simulating; the aggregate JSON artifact is
-//             byte-identical for any --threads value.
+//             byte-identical for any --threads value. --profile writes a
+//             wall-clock sidecar (separate file, never mixed into the
+//             stable aggregate); --progress shows a live cell counter
+//             with throughput.
 //
 // --scenario accepts any name from exp::scenario_names() ("nas", "psa",
 // "synth-inconsistent-hihi", ...). The older --kind=nas|psa spelling is
-// kept as an alias.
+// kept as an alias. The global --log-level=debug|info|warn|error|off flag
+// (default: info) controls stderr diagnostics.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -173,6 +182,41 @@ int cmd_run(const util::Cli& cli) {
     spec = exp::heuristic_spec(algo, policy_from(cli));
   }
 
+  // Optional observability sinks, shared by both modes. The trace
+  // recorder and metric collector ride the kernel's single observer slot
+  // through a tee; all of it stays detached unless a flag asks for it,
+  // so the default run path keeps the null-observer fast path.
+  const auto trace_events_path = cli.get("trace-events");
+  const auto metrics_path = cli.get("metrics");
+  const auto ga_profile_path = cli.get("ga-profile");
+  obs::SimTraceRecorder trace_recorder;
+  obs::MetricRegistry registry;
+  std::unique_ptr<obs::KernelMetricsObserver> metrics_observer;
+  sim::KernelObserverTee tee;
+  if (trace_events_path) tee.add(&trace_recorder);
+  if (metrics_path) {
+    metrics_observer = std::make_unique<obs::KernelMetricsObserver>(registry);
+    tee.add(metrics_observer.get());
+  }
+  sim::KernelObserver* observer = tee.empty() ? nullptr : &tee;
+  std::vector<core::GaProfile> ga_profiles;
+  const auto write_observability = [&] {
+    if (trace_events_path) {
+      trace_recorder.write_file(*trace_events_path);
+      GS_LOG_INFO("wrote %zu trace events to %s", trace_recorder.size(),
+                  trace_events_path->c_str());
+    }
+    if (metrics_path) {
+      registry.write_snapshot(*metrics_path);
+      GS_LOG_INFO("wrote metric snapshot to %s", metrics_path->c_str());
+    }
+    if (ga_profile_path) {
+      obs::write_ga_profiles(*ga_profile_path, ga_profiles);
+      GS_LOG_INFO("wrote %zu GA profile(s) to %s", ga_profiles.size(),
+                  ga_profile_path->c_str());
+    }
+  };
+
   if (cli.has("trace") && cli.has("sites")) {
     // Replay mode: explicit traces, direct engine drive. v2 traces carry
     // the raw ETC matrix and replay it exactly; v1 traces fall back to
@@ -185,20 +229,31 @@ int cmd_run(const util::Cli& cli) {
     config.lambda = cli.get_or("lambda", security::kDefaultLambda);
     config.seed = seed;
     auto scheduler = spec.make(nullptr, seed);
+    if (ga_profile_path) {
+      if (auto* ga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {
+        ga->set_profile_sink(&ga_profiles);
+      }
+    }
     if (!trace.exec.has_matrix()) {
-      std::fprintf(stderr,
-                   "note: trace carries no ETC section; replay uses the "
-                   "rank-1 work/speed execution model\n");
+      GS_LOG_WARN("trace carries no ETC section; replay uses the rank-1 "
+                  "work/speed execution model");
     }
     sim::Engine engine(sites, trace.jobs, config, trace.exec);
+    engine.set_observer(observer);
     engine.run(*scheduler);
     print_metrics(scheduler->name(), metrics::compute_metrics(engine), csv);
+    write_observability();
     return 0;
   }
 
   const exp::Scenario scenario = scenario_from(cli);
-  const metrics::RunMetrics run = exp::run_once(scenario, spec, seed);
+  exp::RunHooks hooks;
+  hooks.observer = observer;
+  hooks.ga_profiles = ga_profile_path ? &ga_profiles : nullptr;
+  const metrics::RunMetrics run =
+      exp::run_once(scenario, spec, seed, /*ga_pool=*/nullptr, hooks);
   print_metrics(spec.name, run, csv);
+  write_observability();
   return 0;
 }
 
@@ -234,7 +289,8 @@ int cmd_campaign(const util::Cli& cli) {
   if (cli.positional().size() < 2) {
     std::fprintf(stderr, "usage: gridsched_cli campaign SPEC.json "
                          "[--threads=N] [--dry-run] [--out-json=F] "
-                         "[--out-csv=F] [--quiet]\n");
+                         "[--out-csv=F] [--profile=F] [--progress] "
+                         "[--quiet]\n");
     return 2;
   }
   const std::string spec_path = cli.positional()[1];
@@ -266,7 +322,28 @@ int cmd_campaign(const util::Cli& cli) {
   if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
   options.threads = static_cast<std::size_t>(threads);
   const bool quiet = cli.get_or("quiet", false);
-  if (!quiet) {
+  const bool progress = cli.get_or("progress", false);
+  if (progress) {
+    // Rich live counter: throughput plus the cell that just finished.
+    // Works even with --quiet (progress goes to stderr, artifacts stay
+    // clean), so long campaigns in scripts can still show a pulse.
+    options.on_cell = [&spec, start = std::chrono::steady_clock::now()](
+                          const exp::campaign::CellResult& cell,
+                          std::size_t done, std::size_t total) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::fprintf(stderr,
+                   "\r[%zu/%zu] cells done — %.1f cells/s (last: %s/%s "
+                   "rep %zu in %.2f s)  ",
+                   done, total, elapsed > 0.0 ? done / elapsed : 0.0,
+                   spec.scenarios[cell.cell.scenario].display().c_str(),
+                   spec.policies[cell.cell.policy].display().c_str(),
+                   cell.cell.replication, cell.wall_seconds);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  } else if (!quiet) {
     options.on_cell = [](const exp::campaign::CellResult& cell,
                          std::size_t done,
                          std::size_t total) {
@@ -285,16 +362,22 @@ int cmd_campaign(const util::Cli& cli) {
   }
   // The stable aggregate artifact is written by default (commit it like
   // BENCH_ga_decode.json); --out-json= overrides the path.
-  sinks.push_back(std::make_unique<exp::campaign::JsonFileSink>(
-      cli.get_or("out-json", spec.name + "_campaign.json")));
+  const std::string out_json =
+      cli.get_or("out-json", spec.name + "_campaign.json");
+  sinks.push_back(std::make_unique<exp::campaign::JsonFileSink>(out_json));
   if (const auto csv_path = cli.get("out-csv")) {
     sinks.push_back(std::make_unique<exp::campaign::CsvFileSink>(*csv_path));
   }
-  exp::campaign::emit(result, sinks);
-  if (!quiet) {
-    std::printf("wrote %s\n",
-                cli.get_or("out-json", spec.name + "_campaign.json").c_str());
+  // The wall-clock profile is a deliberately separate artifact: the
+  // aggregate above stays byte-stable, the sidecar carries timing.
+  const auto profile_path = cli.get("profile");
+  if (profile_path) {
+    sinks.push_back(
+        std::make_unique<exp::campaign::ProfileFileSink>(*profile_path));
   }
+  exp::campaign::emit(result, sinks);
+  GS_LOG_INFO("wrote %s", out_json.c_str());
+  if (profile_path) GS_LOG_INFO("wrote %s", profile_path->c_str());
   return 0;
 }
 
@@ -305,6 +388,10 @@ int main(int argc, char** argv) {
   if (cli.positional().empty()) return usage();
   const std::string& command = cli.positional().front();
   try {
+    // CLI default is info (not the library's warn): interactive users get
+    // the "wrote ..." confirmations; --log-level=warn silences them.
+    util::set_log_level(
+        util::parse_log_level(cli.get_or("log-level", std::string("info"))));
     if (command == "scenarios") return cmd_scenarios();
     if (command == "generate") return cmd_generate(cli);
     if (command == "describe") return cmd_describe(cli);

@@ -1,6 +1,7 @@
 #include "core/ga_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <numeric>
@@ -123,7 +124,7 @@ class FitnessEvaluator {
 
 GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
                 const GaParams& params, util::Rng& rng,
-                util::ThreadPool* pool) {
+                util::ThreadPool* pool, GaProfile* profile) {
   if (problem.n_jobs() == 0) {
     throw std::invalid_argument("evolve: empty problem");
   }
@@ -147,6 +148,21 @@ GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
     population.push_back(random_chromosome(problem, rng));
   }
 
+  // Profiling reads state the loop computes anyway (plus a mean reduction)
+  // so a profiled run returns a bit-identical GaResult. Clocks only tick
+  // when a profile was requested.
+  using ProfileClock = std::chrono::steady_clock;
+  const ProfileClock::time_point evolve_start =
+      profile != nullptr ? ProfileClock::now() : ProfileClock::time_point{};
+  ProfileClock::time_point gen_start = evolve_start;
+  std::uint64_t seen_evaluations = 0;
+  std::uint64_t seen_memo_hits = 0;
+  if (profile != nullptr) {
+    profile->generations.clear();
+    profile->generations.reserve(params.generations + 1);
+    profile->total_wall_ms = 0.0;
+  }
+
   GaResult result;
   FitnessEvaluator evaluator(problem, params, pool);
   std::vector<double> fitness(population.size(), kUnknownFitness);
@@ -162,7 +178,25 @@ GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
     }
     result.best_per_generation.push_back(result.best_fitness);
   };
+  auto record_profile = [&] {
+    if (profile == nullptr) return;
+    const ProfileClock::time_point now = ProfileClock::now();
+    GaGenerationProfile row;
+    row.wall_ms =
+        std::chrono::duration<double, std::milli>(now - gen_start).count();
+    gen_start = now;
+    row.evaluations = result.evaluations - seen_evaluations;
+    row.memo_hits = result.memo_hits - seen_memo_hits;
+    seen_evaluations = result.evaluations;
+    seen_memo_hits = result.memo_hits;
+    row.best = result.best_fitness;
+    double sum = 0.0;
+    for (const double f : fitness) sum += f;
+    row.mean = sum / static_cast<double>(fitness.size());
+    profile->generations.push_back(row);
+  };
   record_best();
+  record_profile();
 
   // Generation buffers ping-pong with the population and chromosomes are
   // copy-assigned in place, so steady-state generations reuse every gene
@@ -220,6 +254,12 @@ GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
     fitness.swap(next_fitness);
     evaluator.evaluate(population, fitness, result);
     record_best();
+    record_profile();
+  }
+  if (profile != nullptr) {
+    profile->total_wall_ms = std::chrono::duration<double, std::milli>(
+                                 ProfileClock::now() - evolve_start)
+                                 .count();
   }
   return result;
 }

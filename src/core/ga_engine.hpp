@@ -44,10 +44,32 @@ struct GaResult {
   std::uint64_t memo_hits = 0;
 };
 
+/// Per-generation instrumentation row of one evolve() run.
+struct GaGenerationProfile {
+  double wall_ms = 0.0;          ///< host wall time (non-deterministic)
+  std::uint64_t evaluations = 0; ///< decodes performed this generation
+  std::uint64_t memo_hits = 0;   ///< memo lookups served this generation
+  double best = 0.0;             ///< best fitness so far (== best series)
+  double mean = 0.0;             ///< mean population fitness
+};
+
+/// Optional convergence profile: one entry per fitness evaluation round
+/// (generations + 1; entry 0 covers the initial population). Sums of the
+/// per-generation evaluations/memo_hits equal the GaResult totals.
+/// Collecting a profile must not change the GaResult — the profile only
+/// reads state the engine already computes (plus one mean reduction).
+struct GaProfile {
+  std::vector<GaGenerationProfile> generations;
+  double total_wall_ms = 0.0;  ///< wall time of the whole evolve() call
+};
+
 /// Run the GA. `initial` chromosomes seed the population (truncated or
 /// topped up with random feasible chromosomes to `params.population`).
+/// `profile`, when non-null, receives the per-generation convergence
+/// profile (appending nothing to the result itself).
 GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
                 const GaParams& params, util::Rng& rng,
-                util::ThreadPool* pool = nullptr);
+                util::ThreadPool* pool = nullptr,
+                GaProfile* profile = nullptr);
 
 }  // namespace gridsched::core

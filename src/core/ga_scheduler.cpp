@@ -113,8 +113,13 @@ std::vector<sim::Assignment> GaScheduler::schedule(
   std::vector<Chromosome> initial =
       build_initial_population(problem, signature);
 
+  GaProfile profile;
   const GaResult result =
-      evolve(problem, std::move(initial), config_.ga, rng_, pool_);
+      evolve(problem, std::move(initial), config_.ga, rng_, pool_,
+             profile_sink_ != nullptr ? &profile : nullptr);
+  if (profile_sink_ != nullptr) {
+    profile_sink_->push_back(std::move(profile));
+  }
 
   if (config_.use_history) {
     table_.insert(signature, result.best);

@@ -56,6 +56,13 @@ class GaScheduler : public sim::BatchScheduler {
   [[nodiscard]] const HistoryTable& history() const noexcept { return table_; }
   [[nodiscard]] const StgaConfig& config() const noexcept { return config_; }
 
+  /// Collect one GaProfile per schedule() call into `sink` (nullptr
+  /// disables, the default). The sink must outlive scheduling; profiling
+  /// never changes the schedules produced.
+  void set_profile_sink(std::vector<GaProfile>* sink) noexcept {
+    profile_sink_ = sink;
+  }
+
  private:
   std::vector<Chromosome> build_initial_population(
       const GaProblem& problem, const BatchSignature& signature);
@@ -64,6 +71,7 @@ class GaScheduler : public sim::BatchScheduler {
   util::ThreadPool* pool_;
   HistoryTable table_;
   util::Rng rng_;
+  std::vector<GaProfile>* profile_sink_ = nullptr;
   /// Reused across batches for history-match rescoring and the dispatch
   /// decode order (bound to each batch's problem in schedule()).
   DecodeScratch scratch_;

@@ -67,12 +67,28 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
   auto run_cell = [&](std::size_t i) {
     CellResult& out = result.cells[i];
     out.cell = cells[i];
+    const auto cell_start = std::chrono::steady_clock::now();
     // GA fitness stays serial inside each cell: the pool's workers are
     // busy running cells and must not block on nested waits — and serial
     // evaluation keeps the cell a pure function of its seed.
-    out.metrics = run_once(scenarios[cells[i].scenario],
-                           algorithms[cells[i].policy], cells[i].seed,
-                           /*ga_pool=*/nullptr);
+    try {
+      out.metrics = run_once(scenarios[cells[i].scenario],
+                             algorithms[cells[i].policy], cells[i].seed,
+                             /*ga_pool=*/nullptr);
+    } catch (const std::exception& e) {
+      // The pool rethrows worker exceptions context-free; label the
+      // failing cell here so a campaign abort names the exact
+      // {scenario, policy, replication} that died.
+      throw std::runtime_error(
+          "campaign cell {scenario=" +
+          spec.scenarios[cells[i].scenario].display() +
+          ", policy=" + spec.policies[cells[i].policy].display() +
+          ", replication=" + std::to_string(cells[i].replication) +
+          ", seed=" + std::to_string(cells[i].seed) + "}: " + e.what());
+    }
+    out.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - cell_start)
+                           .count();
     if (options_.on_cell) {
       const std::lock_guard lock(progress_mutex);
       options_.on_cell(out, ++done, cells.size());

@@ -44,6 +44,9 @@ std::vector<Cell> expand(const CampaignSpec& spec);
 struct CellResult {
   Cell cell;
   metrics::RunMetrics metrics;
+  /// Wall time of this cell's run_once (non-deterministic; feeds the
+  /// profile sidecar and the table footer, never the aggregate JSON).
+  double wall_seconds = 0.0;
 };
 
 struct CampaignResult {

@@ -161,6 +161,37 @@ std::string render_json(const CampaignResult& result) {
   return out.str();
 }
 
+std::string render_profile(const CampaignResult& result) {
+  using util::json::number;
+  using util::json::quote;
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"campaign\": " << quote(result.spec.name) << ",\n";
+  out << "  \"threads\": " << result.threads << ",\n";
+  out << "  \"wall_seconds\": " << number(result.wall_seconds) << ",\n";
+  out << "  \"cells_per_second\": " << number(result.cells_per_second())
+      << ",\n";
+  out << "  \"jobs_simulated\": " << result.jobs_simulated << ",\n";
+  out << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const CellResult& cell = result.cells[i];
+    out << "    {\"scenario\": "
+        << quote(result.spec.scenarios[cell.cell.scenario].display())
+        << ", \"policy\": "
+        << quote(result.spec.policies[cell.cell.policy].display())
+        << ", \"replication\": " << cell.cell.replication
+        << ", \"wall_seconds\": " << number(cell.wall_seconds)
+        << ", \"scheduler_seconds\": "
+        << number(cell.metrics.scheduler_seconds)
+        << ", \"batch_invocations\": " << cell.metrics.batch_invocations
+        << "}" << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
 void TableSink::consume(const CampaignResult& result) {
   out_ << render_table(result);
   out_.flush();
@@ -172,6 +203,10 @@ void CsvFileSink::consume(const CampaignResult& result) {
 
 void JsonFileSink::consume(const CampaignResult& result) {
   write_file(path_, render_json(result));
+}
+
+void ProfileFileSink::consume(const CampaignResult& result) {
+  write_file(path_, render_profile(result));
 }
 
 void emit(const CampaignResult& result,

@@ -30,6 +30,13 @@ std::string render_csv(const CampaignResult& result);
 /// Stable JSON artifact (deterministic fields only; trailing newline).
 std::string render_json(const CampaignResult& result);
 
+/// Wall-clock profile sidecar JSON: campaign-level throughput plus one
+/// row per cell {scenario, policy, replication, wall_seconds,
+/// scheduler_seconds, batch_invocations}. Deliberately a SEPARATE
+/// artifact from render_json — wall-clock fields are non-deterministic
+/// and must never contaminate the byte-stable aggregate (PR 4 contract).
+std::string render_profile(const CampaignResult& result);
+
 class Sink {
  public:
   virtual ~Sink() = default;
@@ -60,6 +67,16 @@ class CsvFileSink final : public Sink {
 class JsonFileSink final : public Sink {
  public:
   explicit JsonFileSink(std::string path) : path_(std::move(path)) {}
+  void consume(const CampaignResult& result) override;
+
+ private:
+  std::string path_;
+};
+
+/// Writes render_profile (the wall-clock sidecar) to a file.
+class ProfileFileSink final : public Sink {
+ public:
+  explicit ProfileFileSink(std::string path) : path_(std::move(path)) {}
   void consume(const CampaignResult& result) override;
 
  private:

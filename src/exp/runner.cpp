@@ -49,7 +49,8 @@ void train_stga(const Scenario& scenario, const workload::Workload& main,
 
 metrics::RunMetrics run_once(const Scenario& scenario,
                              const AlgorithmSpec& spec,
-                             std::uint64_t seed, util::ThreadPool* ga_pool) {
+                             std::uint64_t seed, util::ThreadPool* ga_pool,
+                             const RunHooks& hooks) {
   const std::uint64_t workload_seed = util::Rng::child(seed, 1).next_u64();
   const std::uint64_t engine_seed = util::Rng::child(seed, 2).next_u64();
   const std::uint64_t algo_seed = util::Rng::child(seed, 3).next_u64();
@@ -64,10 +65,19 @@ metrics::RunMetrics run_once(const Scenario& scenario,
     }
   }
 
+  // GA profiling attaches after training so the sink sees only the
+  // measured run's scheduler invocations.
+  if (hooks.ga_profiles != nullptr) {
+    if (auto* ga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {
+      ga->set_profile_sink(hooks.ga_profiles);
+    }
+  }
+
   sim::EngineConfig engine_config = scenario.engine;
   engine_config.seed = engine_seed;
   sim::Engine engine(workload.sites, workload.jobs, engine_config,
                      workload.exec, workload.churn);
+  engine.set_observer(hooks.observer);
   engine.run(*scheduler);
   return metrics::compute_metrics(engine);
 }

@@ -7,18 +7,33 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/ga_engine.hpp"
 #include "exp/roster.hpp"
 #include "exp/scenario.hpp"
 #include "metrics/metrics.hpp"
+#include "sim/observer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gridsched::exp {
+
+/// Optional observation hooks for one run. Both pointers are non-owning
+/// and may be null; hooks attach to the *measured* engine run only (the
+/// STGA training phase stays unobserved — it is scaffolding, not the
+/// simulation under study). Attaching hooks never changes the metrics.
+struct RunHooks {
+  /// Passive kernel observer (trace recorder, metric collector, ...).
+  sim::KernelObserver* observer = nullptr;
+  /// Receives one GaProfile per scheduler invocation when the algorithm
+  /// is GA-based (ignored for heuristic specs).
+  std::vector<core::GaProfile>* ga_profiles = nullptr;
+};
 
 /// Build workload, (optionally) run the training phase, simulate, measure.
 metrics::RunMetrics run_once(const Scenario& scenario,
                              const AlgorithmSpec& spec,
                              std::uint64_t seed,
-                             util::ThreadPool* ga_pool = nullptr);
+                             util::ThreadPool* ga_pool = nullptr,
+                             const RunHooks& hooks = {});
 
 struct ReplicatedResult {
   metrics::MetricsAggregate aggregate;

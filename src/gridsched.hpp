@@ -18,6 +18,11 @@
 #include "exp/scenario.hpp"         // IWYU pragma: export
 #include "exp/scenario_registry.hpp" // IWYU pragma: export
 #include "metrics/metrics.hpp"      // IWYU pragma: export
+#include "obs/ga_profile_json.hpp"  // IWYU pragma: export
+#include "obs/kernel_metrics.hpp"   // IWYU pragma: export
+#include "obs/metric_registry.hpp"  // IWYU pragma: export
+#include "obs/proc_stats.hpp"       // IWYU pragma: export
+#include "obs/trace_event.hpp"      // IWYU pragma: export
 #include "sched/etc_matrix.hpp"     // IWYU pragma: export
 #include "sched/heuristics.hpp"     // IWYU pragma: export
 #include "sched/registry.hpp"       // IWYU pragma: export
@@ -26,6 +31,7 @@
 #include "security/trust_index.hpp" // IWYU pragma: export
 #include "sim/engine.hpp"           // IWYU pragma: export
 #include "sim/kernel.hpp"           // IWYU pragma: export
+#include "sim/observer.hpp"         // IWYU pragma: export
 #include "sim/process/arrival_process.hpp"          // IWYU pragma: export
 #include "sim/process/batch_cycle_process.hpp"      // IWYU pragma: export
 #include "sim/process/security_failure_process.hpp" // IWYU pragma: export
@@ -33,6 +39,7 @@
 #include "sim/scheduling.hpp"       // IWYU pragma: export
 #include "util/cli.hpp"             // IWYU pragma: export
 #include "util/json.hpp"            // IWYU pragma: export
+#include "util/log.hpp"             // IWYU pragma: export
 #include "util/rng.hpp"             // IWYU pragma: export
 #include "util/stats.hpp"           // IWYU pragma: export
 #include "util/table.hpp"           // IWYU pragma: export

@@ -1,0 +1,120 @@
+#include "obs/metric_registry.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace gridsched::obs {
+
+namespace {
+
+using util::json::number;
+using util::json::quote;
+
+}  // namespace
+
+void MetricRegistry::check_unclaimed(const std::string& name,
+                                     const char* wanted) const {
+  const bool taken_by_counter =
+      counters_.count(name) != 0 && std::string(wanted) != "counter";
+  const bool taken_by_gauge =
+      gauges_.count(name) != 0 && std::string(wanted) != "gauge";
+  const bool taken_by_histogram =
+      histograms_.count(name) != 0 && std::string(wanted) != "histogram";
+  if (taken_by_counter || taken_by_gauge || taken_by_histogram) {
+    throw std::logic_error("MetricRegistry: name '" + name +
+                           "' already registered as a different metric kind");
+  }
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  check_unclaimed(name, "counter");
+  return counters_[name];
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  check_unclaimed(name, "gauge");
+  return gauges_[name];
+}
+
+HistogramMetric& MetricRegistry::histogram(const std::string& name, double lo,
+                                           double hi, std::size_t buckets) {
+  check_unclaimed(name, "histogram");
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    const HistogramMetric& existing = it->second;
+    if (existing.lo() != lo || existing.hi() != hi ||
+        existing.histogram().bucket_count() != buckets) {
+      throw std::logic_error("MetricRegistry: histogram '" + name +
+                             "' re-registered with different bounds");
+    }
+    return it->second;
+  }
+  return histograms_.try_emplace(name, lo, hi, buckets).first->second;
+}
+
+std::string MetricRegistry::snapshot_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + quote(name) + ": " + std::to_string(counter.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + quote(name) + ": " + number(gauge.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, metric] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    const util::Histogram& h = metric.histogram();
+    const util::RunningStats& s = metric.stats();
+    out += "    " + quote(name) + ": {";
+    out += "\"lo\": " + number(metric.lo());
+    out += ", \"hi\": " + number(metric.hi());
+    out += ", \"count\": " + std::to_string(h.total());
+    out += ", \"underflow\": " + std::to_string(h.underflow());
+    out += ", \"overflow\": " + std::to_string(h.overflow());
+    if (s.count() > 0) {
+      out += ", \"mean\": " + number(s.mean());
+      out += ", \"min\": " + number(s.min());
+      out += ", \"max\": " + number(s.max());
+      out += ", \"stddev\": " + number(s.stddev());
+    }
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.bucket_count(); ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(h.count(b));
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+void MetricRegistry::write_snapshot(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("MetricRegistry: cannot write " + path);
+  }
+  const std::string body = snapshot_json() + "\n";
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  if (written != body.size()) {
+    throw std::runtime_error("MetricRegistry: short write to " + path);
+  }
+}
+
+}  // namespace gridsched::obs

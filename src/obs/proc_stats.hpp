@@ -1,0 +1,14 @@
+// Process-level resource probes for benchmarks: peak RSS via getrusage.
+// Kept out of any byte-stable artifact — these numbers vary run to run.
+#pragma once
+
+#include <cstdint>
+
+namespace gridsched::obs {
+
+/// Peak resident set size of this process in bytes; 0 when the platform
+/// offers no getrusage (the caller reports "unavailable" rather than a
+/// fake zero-byte peak — check before dividing).
+[[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
+
+}  // namespace gridsched::obs

@@ -35,6 +35,13 @@ class Engine {
   /// outlive the call. Throws on scheduler protocol violations.
   void run(BatchScheduler& scheduler);
 
+  /// Attach a passive kernel observer (nullptr detaches; must outlive
+  /// run()). Forwarded to SimKernel::set_observer — observers are
+  /// read-only and a null observer costs one branch per notify point.
+  void set_observer(KernelObserver* observer) noexcept {
+    kernel_.set_observer(observer);
+  }
+
   [[nodiscard]] const std::vector<Job>& jobs() const noexcept {
     return kernel_.jobs();
   }

@@ -93,6 +93,7 @@ void SimKernel::request_cycle(Time now) {
 unsigned SimKernel::revoke_attempt(JobId job_id, Time now) {
   Job& job = jobs_[job_id];
   Attempt& attempt = attempts_[job_id];
+  if (observer_) observer_->on_revoke(*this, job_id, attempt.site, now);
   attempt.active = false;  // any queued kJobEnd for this attempt is stale
   --running_;
   job.state = JobState::kPending;
@@ -122,6 +123,7 @@ void SimKernel::run() {
 
   arrivals_remaining_ = jobs_.size();
   for (SimProcess* process : processes_) process->start(*this);
+  if (observer_) observer_->on_run_start(*this);
 
   // The loop ends when every job has completed, not when the queue drains:
   // an open-ended process (site churn) keeps future events queued for as
@@ -129,6 +131,7 @@ void SimKernel::run() {
   while (!events_.empty()) {
     if (counters_.completed_jobs == jobs_.size()) break;
     const Event event = events_.pop();
+    if (observer_) observer_->on_event(*this, event);
     SimProcess* route = routes_[static_cast<std::size_t>(event.kind)];
     if (route == nullptr) {
       throw std::logic_error("SimKernel: event kind has no registered process");
@@ -139,6 +142,7 @@ void SimKernel::run() {
   if (counters_.completed_jobs != jobs_.size()) {
     throw std::runtime_error("Engine: simulation ended with unfinished jobs");
   }
+  if (observer_) observer_->on_run_end(*this);
 }
 
 }  // namespace gridsched::sim

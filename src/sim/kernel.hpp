@@ -18,6 +18,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/exec_model.hpp"
 #include "sim/job.hpp"
+#include "sim/observer.hpp"
 #include "sim/site.hpp"
 
 namespace gridsched::sim {
@@ -210,6 +211,37 @@ class SimKernel {
     return site_up_;
   }
 
+  // --- observation (null observer = zero-cost fast path) ---
+  /// Attach a passive observer (nullptr detaches). Observers are
+  /// non-owning and must outlive run(). With none attached every notify
+  /// point is a single branch on a null pointer, and observed runs must
+  /// stay bit-identical to unobserved ones (observers are read-only).
+  void set_observer(KernelObserver* observer) noexcept {
+    observer_ = observer;
+  }
+  [[nodiscard]] KernelObserver* observer() const noexcept { return observer_; }
+
+  /// Notification helpers for processes (null-checked, inline).
+  void notify_dispatch(JobId job, SiteId site,
+                       const NodeAvailability::Window& window, double exec,
+                       unsigned serial) const {
+    if (observer_) observer_->on_dispatch(*this, job, site, window, exec,
+                                          serial);
+  }
+  void notify_job_complete(JobId job, SiteId site, Time time) const {
+    if (observer_) observer_->on_job_complete(*this, job, site, time);
+  }
+  void notify_attempt_failure(JobId job, SiteId site, Time time) const {
+    if (observer_) observer_->on_attempt_failure(*this, job, site, time);
+  }
+  void notify_cycle(Time now, std::size_t batch_jobs, std::size_t assigned,
+                    double scheduler_wall_seconds) const {
+    if (observer_) {
+      observer_->on_cycle(*this, now, batch_jobs, assigned,
+                          scheduler_wall_seconds);
+    }
+  }
+
  private:
   void validate_workload() const;
 
@@ -231,6 +263,7 @@ class SimKernel {
   std::uint64_t next_cycle_index_ = 0;
   std::vector<SimProcess*> processes_;
   SimProcess* routes_[kEventKindCount] = {};
+  KernelObserver* observer_ = nullptr;
   bool ran_ = false;
 };
 

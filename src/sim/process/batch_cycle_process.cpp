@@ -43,10 +43,12 @@ void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
   ++kernel.counters().batch_invocations;
   const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<Assignment> assignments = scheduler_.schedule(context);
-  kernel.counters().scheduler_seconds +=
+  const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  kernel.counters().scheduler_seconds += wall;
+  kernel.notify_cycle(now, context.jobs.size(), assignments.size(), wall);
 
   // Validate and apply in the order the scheduler chose.
   std::unordered_set<std::size_t> assigned;

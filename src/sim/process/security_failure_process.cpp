@@ -71,6 +71,7 @@ void SecurityFailureProcess::dispatch(SimKernel& kernel, JobId job_id,
     end.is_failure = false;
   }
   kernel.push_event(end);
+  kernel.notify_dispatch(job_id, site_id, window, exec, attempt.serial);
 }
 
 void SecurityFailureProcess::handle(SimKernel& kernel, const Event& event) {
@@ -83,6 +84,7 @@ void SecurityFailureProcess::handle(SimKernel& kernel, const Event& event) {
     ++kernel.counters().failure_events;
     ++job.failures;
     job.secure_only = true;  // fail-stop: never risk again
+    kernel.notify_attempt_failure(event.job, attempt.site, event.time);
     // Give the unused tail of the reservation back to the site, keyed by
     // the exact stored window end (recomputing start + exec would rely on
     // bitwise float equality against the profile; see
@@ -103,6 +105,7 @@ void SecurityFailureProcess::handle(SimKernel& kernel, const Event& event) {
     kernel.sites()[attempt.site].account_busy(job.nodes, attempt.exec);
     kernel.observe_finish(event.time);
     ++kernel.counters().completed_jobs;
+    kernel.notify_job_complete(event.job, attempt.site, event.time);
   }
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdarg>
 #include <mutex>
+#include <stdexcept>
 
 namespace gridsched::util {
 
@@ -28,6 +29,20 @@ LogLevel log_level() noexcept { return g_level.load(); }
 void log_message(LogLevel level, const std::string& message) {
   std::lock_guard lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level '" + name +
+                              "' (choices: " + log_level_names() + ")");
+}
+
+const char* log_level_names() noexcept {
+  return "debug, info, warn, error, off";
 }
 
 namespace detail {

@@ -14,6 +14,13 @@ LogLevel log_level() noexcept;
 
 void log_message(LogLevel level, const std::string& message);
 
+/// Parse a CLI level name ("debug", "info", "warn", "error", "off");
+/// throws std::invalid_argument listing the choices otherwise.
+LogLevel parse_log_level(const std::string& name);
+
+/// The names parse_log_level accepts, in severity order (CLI help text).
+[[nodiscard]] const char* log_level_names() noexcept;
+
 namespace detail {
 std::string format_log(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

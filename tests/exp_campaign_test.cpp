@@ -2,6 +2,8 @@
 #include "exp/campaign/campaign_runner.hpp"
 #include "exp/campaign/campaign_sinks.hpp"
 #include "exp/campaign/campaign_spec.hpp"
+#include "exp/scenario.hpp"
+#include "workload/synth/synth.hpp"
 
 #include <gtest/gtest.h>
 
@@ -232,6 +234,68 @@ TEST(CampaignRunner, ProgressCallbackSeesEveryCell) {
   };
   const CampaignResult result = CampaignRunner(options).run(spec);
   EXPECT_EQ(calls, result.cells.size());
+}
+
+TEST(CampaignRunner, FailingCellErrorNamesTheCell) {
+  // A custom scenario whose workload generator throws at run time: the
+  // campaign abort must label the exact {scenario, policy, replication}
+  // instead of surfacing the worker's context-free message.
+  CampaignSpec spec;
+  spec.name = "boom";
+  spec.seed = 5;
+  spec.replications = 1;
+  spec.metrics = {"makespan"};
+  workload::synth::SynthConfig broken;
+  broken.n_jobs = 10;
+  broken.n_sites = 2;
+  broken.site_node_pattern = {0};  // rejected by synth_workload
+  ScenarioRef scenario;
+  scenario.name = "bad-synth";
+  scenario.custom = synth_scenario(broken);
+  spec.scenarios.push_back(std::move(scenario));
+  PolicyRef policy;
+  policy.algo = "min-min";
+  spec.policies.push_back(std::move(policy));
+
+  RunnerOptions options;
+  options.threads = 1;
+  try {
+    CampaignRunner(options).run(spec);
+    FAIL() << "expected the broken cell to abort the campaign";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("campaign cell"), std::string::npos) << what;
+    EXPECT_NE(what.find("scenario=bad-synth"), std::string::npos) << what;
+    EXPECT_NE(what.find("policy=min-min-f-risky"), std::string::npos) << what;
+    EXPECT_NE(what.find("replication=0"), std::string::npos) << what;
+    EXPECT_NE(what.find("zero-node site"), std::string::npos) << what;
+  }
+}
+
+TEST(CampaignRunner, ProfileSidecarCarriesPerCellTiming) {
+  const CampaignSpec spec = mini_spec();
+  RunnerOptions options;
+  options.threads = 2;
+  const CampaignResult result = CampaignRunner(options).run(spec);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_GE(cell.wall_seconds, 0.0);
+  }
+  const std::string profile = render_profile(result);
+  EXPECT_NE(profile.find("\"campaign\": \"mini\""), std::string::npos);
+  EXPECT_NE(profile.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(profile.find("\"scheduler_seconds\""), std::string::npos);
+  // One row per cell.
+  std::size_t rows = 0;
+  for (std::size_t at = profile.find("\"replication\"");
+       at != std::string::npos;
+       at = profile.find("\"replication\"", at + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, result.cells.size());
+  // The byte-stable aggregate must NOT carry wall-clock fields.
+  const std::string aggregate = render_json(result);
+  EXPECT_EQ(aggregate.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(aggregate.find("scheduler_seconds"), std::string::npos);
 }
 
 // ---------------------------------------------------- golden mini-campaign ---
