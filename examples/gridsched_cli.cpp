@@ -21,6 +21,8 @@
 //             Run the paper's 7-algorithm comparison.
 //   campaign  SPEC.json [--threads=N] [--dry-run] [--out-json=F]
 //             [--out-csv=F] [--profile=F] [--progress] [--quiet]
+//             [--strict] [--retries=N] [--cell-timeout=SEC]
+//             [--checkpoint=F] [--resume]
 //             Run a declarative experiment campaign (scenario x policy x
 //             replication grid; see examples/campaigns/ and the README
 //             "Campaigns" section). --dry-run lists the expanded run
@@ -28,7 +30,14 @@
 //             byte-identical for any --threads value. --profile writes a
 //             wall-clock sidecar (separate file, never mixed into the
 //             stable aggregate); --progress shows a live cell counter
-//             with throughput.
+//             with throughput. Fault tolerance (README "Fault
+//             tolerance"): failing cells degrade their group instead of
+//             aborting the campaign (--strict restores abort-on-error,
+//             and is the only mode where cell faults exit nonzero);
+//             --retries re-runs failed cells with the same seed;
+//             --cell-timeout arms a cooperative per-cell watchdog;
+//             --checkpoint journals finished cells to F (fsync'd JSONL)
+//             and --resume skips the journaled ones, byte-identically.
 //
 // --scenario accepts any name from exp::scenario_names() ("nas", "psa",
 // "synth-inconsistent-hihi", ...). The older --kind=nas|psa spelling is
@@ -290,7 +299,9 @@ int cmd_campaign(const util::Cli& cli) {
     std::fprintf(stderr, "usage: gridsched_cli campaign SPEC.json "
                          "[--threads=N] [--dry-run] [--out-json=F] "
                          "[--out-csv=F] [--profile=F] [--progress] "
-                         "[--quiet]\n");
+                         "[--quiet] [--strict] [--retries=N] "
+                         "[--cell-timeout=SEC] [--checkpoint=F] "
+                         "[--resume]\n");
     return 2;
   }
   const std::string spec_path = cli.positional()[1];
@@ -321,6 +332,16 @@ int cmd_campaign(const util::Cli& cli) {
   const std::int64_t threads = cli.get_or("threads", std::int64_t{0});
   if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
   options.threads = static_cast<std::size_t>(threads);
+  options.strict = cli.get_or("strict", false);
+  const std::int64_t retries = cli.get_or("retries", std::int64_t{0});
+  if (retries < 0) throw std::invalid_argument("--retries must be >= 0");
+  options.retries = static_cast<unsigned>(retries);
+  options.cell_timeout = cli.get_or("cell-timeout", 0.0);
+  if (options.cell_timeout < 0.0) {
+    throw std::invalid_argument("--cell-timeout must be >= 0");
+  }
+  options.checkpoint = cli.get_or("checkpoint", std::string());
+  options.resume = cli.get_or("resume", false);
   const bool quiet = cli.get_or("quiet", false);
   const bool progress = cli.get_or("progress", false);
   if (progress) {
@@ -378,6 +399,16 @@ int cmd_campaign(const util::Cli& cli) {
   exp::campaign::emit(result, sinks);
   GS_LOG_INFO("wrote %s", out_json.c_str());
   if (profile_path) GS_LOG_INFO("wrote %s", profile_path->c_str());
+  if (!result.complete()) {
+    // Degradation is loud but non-fatal: the aggregate covers the
+    // surviving replications and says so. Only --strict (which throws
+    // inside run()) turns cell faults into a nonzero exit.
+    std::fprintf(stderr,
+                 "warning: campaign degraded — %zu cell(s) failed, %zu "
+                 "timed out (see \"status\" rows in %s)\n",
+                 result.failed_cells(), result.timed_out_cells(),
+                 out_json.c_str());
+  }
   return 0;
 }
 

@@ -210,6 +210,9 @@ GaResult evolve(const GaProblem& problem, std::vector<Chromosome> initial,
   std::vector<std::size_t> elite_order(population.size());
   Chromosome spare;
   for (std::size_t gen = 0; gen < params.generations; ++gen) {
+    // Watchdog checkpoint: one poll per generation bounds how long an
+    // over-budget cell can keep evolving before it surfaces as timed out.
+    if (params.cancel != nullptr) params.cancel->check("GA generation");
     std::size_t filled = 0;
 
     // Elitism: carry the best individuals over unchanged, fitness included,

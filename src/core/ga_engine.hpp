@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/ga_problem.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -26,6 +27,11 @@ struct GaParams {
   /// memoization) times the batch size exceeds this (parallelism never
   /// changes results: evaluation is pure).
   std::size_t parallel_threshold = 1 << 14;
+  /// Cooperative cancellation (non-owning; may be null). evolve() polls
+  /// once per generation and aborts with util::CancelledError — the
+  /// per-cell wall-clock watchdog's hook into the GA hot loop. A
+  /// completed evolve() is unaffected by the token's presence.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct GaResult {

@@ -114,8 +114,10 @@ std::vector<sim::Assignment> GaScheduler::schedule(
       build_initial_population(problem, signature);
 
   GaProfile profile;
+  GaParams params = config_.ga;
+  params.cancel = cancel_;  // per-run token; config stays token-free
   const GaResult result =
-      evolve(problem, std::move(initial), config_.ga, rng_, pool_,
+      evolve(problem, std::move(initial), params, rng_, pool_,
              profile_sink_ != nullptr ? &profile : nullptr);
   if (profile_sink_ != nullptr) {
     profile_sink_->push_back(std::move(profile));

@@ -63,6 +63,13 @@ class GaScheduler : public sim::BatchScheduler {
     profile_sink_ = sink;
   }
 
+  /// Attach a cooperative cancel token (nullptr detaches; must outlive
+  /// scheduling). Every evolve() this scheduler runs polls it once per
+  /// generation — see GaParams::cancel.
+  void set_cancel_token(const util::CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+
  private:
   std::vector<Chromosome> build_initial_population(
       const GaProblem& problem, const BatchSignature& signature);
@@ -72,6 +79,7 @@ class GaScheduler : public sim::BatchScheduler {
   HistoryTable table_;
   util::Rng rng_;
   std::vector<GaProfile>* profile_sink_ = nullptr;
+  const util::CancelToken* cancel_ = nullptr;
   /// Reused across batches for history-match rescoring and the dispatch
   /// decode order (bound to each batch's problem in schedule()).
   DecodeScratch scratch_;

@@ -74,6 +74,26 @@ constexpr std::array<MetricDef, 17> kMetricDefs = {{
 
 }  // namespace
 
+std::string_view status_name(CellStatus status) noexcept {
+  switch (status) {
+    case CellStatus::kOk:
+      return "ok";
+    case CellStatus::kFailed:
+      return "failed";
+    case CellStatus::kTimedOut:
+      return "timed_out";
+  }
+  return "failed";  // unreachable; keeps -Wreturn-type quiet
+}
+
+CellStatus parse_status(std::string_view text) {
+  if (text == "ok") return CellStatus::kOk;
+  if (text == "failed") return CellStatus::kFailed;
+  if (text == "timed_out") return CellStatus::kTimedOut;
+  throw std::invalid_argument("parse_status: unknown cell status \"" +
+                              std::string(text) + "\"");
+}
+
 std::span<const MetricDef> metric_defs() { return kMetricDefs; }
 
 const MetricDef* find_metric(std::string_view key) {
@@ -105,21 +125,44 @@ CampaignAggregator::CampaignAggregator(const CampaignSpec& spec)
   const std::size_t n_groups = spec.scenarios.size() * spec.policies.size();
   stats_.resize(n_groups, std::vector<util::RunningStats>(metrics_.size()));
   counts_.resize(n_groups, 0);
+  failed_.resize(n_groups, 0);
+  timed_out_.resize(n_groups, 0);
+}
+
+std::size_t CampaignAggregator::group_index(std::size_t scenario_index,
+                                            std::size_t policy_index) const {
+  if (scenario_index >= spec_.scenarios.size() ||
+      policy_index >= spec_.policies.size()) {
+    throw std::out_of_range("CampaignAggregator: cell outside the spec");
+  }
+  return scenario_index * spec_.policies.size() + policy_index;
 }
 
 void CampaignAggregator::add(std::size_t scenario_index,
                              std::size_t policy_index,
                              const metrics::RunMetrics& run) {
-  if (scenario_index >= spec_.scenarios.size() ||
-      policy_index >= spec_.policies.size()) {
-    throw std::out_of_range("CampaignAggregator::add: cell outside the spec");
-  }
-  const std::size_t group =
-      scenario_index * spec_.policies.size() + policy_index;
+  const std::size_t group = group_index(scenario_index, policy_index);
   for (std::size_t m = 0; m < metrics_.size(); ++m) {
     stats_[group][m].add(metrics_[m]->value(run));
   }
   ++counts_[group];
+}
+
+void CampaignAggregator::add_lost(std::size_t scenario_index,
+                                  std::size_t policy_index,
+                                  CellStatus status) {
+  const std::size_t group = group_index(scenario_index, policy_index);
+  switch (status) {
+    case CellStatus::kOk:
+      throw std::invalid_argument(
+          "CampaignAggregator::add_lost: ok cells go through add()");
+    case CellStatus::kFailed:
+      ++failed_[group];
+      break;
+    case CellStatus::kTimedOut:
+      ++timed_out_[group];
+      break;
+  }
 }
 
 std::vector<GroupSummary> CampaignAggregator::groups() const {
@@ -132,6 +175,9 @@ std::vector<GroupSummary> CampaignAggregator::groups() const {
       group.scenario = spec_.scenarios[s].display();
       group.policy = spec_.policies[p].display();
       group.cells = counts_[index];
+      group.expected = spec_.replications;
+      group.failed = failed_[index];
+      group.timed_out = timed_out_[index];
       group.metrics.reserve(metrics_.size());
       for (std::size_t m = 0; m < metrics_.size(); ++m) {
         MetricSummary summary;

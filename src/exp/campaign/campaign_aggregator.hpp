@@ -16,6 +16,20 @@
 
 namespace gridsched::exp::campaign {
 
+/// Outcome of one campaign cell. A cell is `ok` only when run_once
+/// returned metrics; `failed` covers thrown exceptions (real or
+/// injected) after any retries, `timed_out` a cell whose CancelToken
+/// watchdog fired. Non-ok cells never contribute samples to a group —
+/// the group is *degraded* (reduced n) instead of poisoned.
+enum class CellStatus { kOk, kFailed, kTimedOut };
+
+/// Stable wire name ("ok", "failed", "timed_out") — used by the journal
+/// and the JSON artifact.
+std::string_view status_name(CellStatus status) noexcept;
+
+/// Inverse of status_name; throws std::invalid_argument on unknown text.
+CellStatus parse_status(std::string_view text);
+
 /// A reportable scalar derived from one run's metrics. `deterministic`
 /// marks metrics that are pure functions of (scenario, policy, seed);
 /// wall-clock metrics (scheduler_seconds) are excluded from the stable
@@ -45,17 +59,30 @@ struct MetricSummary {
 struct GroupSummary {
   std::string scenario;  ///< scenario display label
   std::string policy;    ///< policy display label
-  std::size_t cells = 0;
+  std::size_t cells = 0;     ///< surviving (ok) replications
+  std::size_t expected = 0;  ///< spec.replications
+  std::size_t failed = 0;    ///< cells lost to faults (after retries)
+  std::size_t timed_out = 0; ///< cells lost to the watchdog
   std::vector<MetricSummary> metrics;  ///< canonical order
+
+  /// True when any replication was lost: the summaries are over a
+  /// reduced n and sinks must say so.
+  [[nodiscard]] bool degraded() const noexcept { return cells < expected; }
 };
 
 class CampaignAggregator {
  public:
   explicit CampaignAggregator(const CampaignSpec& spec);
 
-  /// Accumulate one cell. Call in matrix order for stable output.
+  /// Accumulate one surviving cell. Call in matrix order for stable
+  /// output.
   void add(std::size_t scenario_index, std::size_t policy_index,
            const metrics::RunMetrics& run);
+
+  /// Record a lost cell (failed or timed out): no metric samples, but
+  /// the group's degradation counters reflect it.
+  void add_lost(std::size_t scenario_index, std::size_t policy_index,
+                CellStatus status);
 
   /// Scenario-major, policy-minor group summaries.
   [[nodiscard]] std::vector<GroupSummary> groups() const;
@@ -65,9 +92,14 @@ class CampaignAggregator {
   /// aggregator outlives the runner's local state in some call shapes.
   CampaignSpec spec_;
   std::vector<const MetricDef*> metrics_;
+  [[nodiscard]] std::size_t group_index(std::size_t scenario_index,
+                                        std::size_t policy_index) const;
+
   /// groups_[scenario * n_policies + policy][metric]
   std::vector<std::vector<util::RunningStats>> stats_;
   std::vector<std::size_t> counts_;
+  std::vector<std::size_t> failed_;
+  std::vector<std::size_t> timed_out_;
 };
 
 }  // namespace gridsched::exp::campaign

@@ -1,0 +1,102 @@
+// Crash-safe campaign checkpointing: an append-only JSONL journal with
+// one fsync'd record per *finished* cell (ok, failed or timed out), so a
+// campaign killed mid-flight can --resume and skip exactly the work that
+// already completed. Records are keyed by {scenario label, policy label,
+// replication, seed} — never by axis indices — so a journal stays valid
+// when the spec file reorders an axis, and a seed mismatch on a matching
+// key is detected as a stale journal instead of silently merging results
+// from a different spec.
+//
+// Determinism contract: records carry only deterministic values (the
+// metric_defs() deterministic set plus n_jobs / batch_invocations);
+// wall-clock never enters the journal, so an aggregate rebuilt from a
+// resumed run is byte-identical to an uninterrupted one at any thread
+// count.
+//
+// Crash tolerance: the writer appends whole lines and fsyncs each one; a
+// crash can only truncate the *final* line. The loader therefore
+// tolerates a malformed last line (dropped, its cell reruns) but treats
+// malformed interior lines as corruption and throws.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/campaign/campaign_aggregator.hpp"
+#include "metrics/metrics.hpp"
+
+namespace gridsched::exp::campaign {
+
+/// One journaled cell outcome. `metrics` holds only the journaled fields
+/// (deterministic metric sources, n_jobs, batch_invocations); everything
+/// else is default-initialized on load.
+struct JournalRecord {
+  std::string scenario;  ///< scenario display label
+  std::string policy;    ///< policy display label
+  std::size_t replication = 0;
+  std::uint64_t seed = 0;
+  CellStatus status = CellStatus::kOk;
+  unsigned attempts = 1;
+  std::string error;  ///< empty when status == kOk
+  metrics::RunMetrics metrics;
+
+  /// Resume key: labels + replication (seed is checked separately so a
+  /// stale journal fails loudly instead of matching nothing).
+  [[nodiscard]] std::string key() const;
+};
+
+/// Serialize one record as a single JSON line (no trailing newline).
+/// Doubles use util::json::number, so values round-trip bit-exactly.
+std::string encode_record(const JournalRecord& record);
+
+/// Parse one journal line back into a record. Throws std::runtime_error
+/// on malformed input or unknown metric keys.
+JournalRecord decode_record(const std::string& line);
+
+/// Append-only fsync-per-record writer. Thread-safe: append() serializes
+/// under an internal mutex, and each record hits the disk (write +
+/// fsync) before append() returns, so a SIGKILL loses at most the record
+/// being written.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending (resume) or truncates it (fresh run) and
+  /// writes the header line when the file starts empty. Throws
+  /// std::runtime_error on I/O errors.
+  JournalWriter(const std::string& path, const std::string& campaign,
+                std::uint64_t spec_seed, bool append);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  void append(const JournalRecord& record);
+
+ private:
+  void write_line(const std::string& line);
+
+  std::mutex mutex_;
+  int fd_ = -1;
+  std::string path_;
+};
+
+struct JournalContents {
+  std::string campaign;
+  std::uint64_t spec_seed = 0;
+  std::vector<JournalRecord> records;
+  /// True when the final line was malformed and dropped (interrupted
+  /// append); interior corruption throws instead.
+  bool truncated_tail = false;
+};
+
+/// Load a journal for --resume. Validates the header (journal format
+/// name, campaign name, spec seed) against the spec being resumed;
+/// throws std::runtime_error on mismatch or interior corruption. A
+/// missing file is an error (resume without a checkpoint is a typo);
+/// an empty file is not.
+JournalContents load_journal(const std::string& path,
+                             const std::string& campaign,
+                             std::uint64_t spec_seed);
+
+}  // namespace gridsched::exp::campaign

@@ -12,10 +12,20 @@
 // for any --threads value and any execution order. Wall-clock fields
 // (CampaignResult::wall_seconds and friends) are the only exception and
 // never enter the artifact.
+//
+// Fault tolerance (PR 7): cells fail *individually*. A throwing or
+// timed-out cell is recorded with its status and error, every other cell
+// still runs, and the aggregate degrades to the surviving replications —
+// unless RunnerOptions::strict restores abort-on-first-error. With a
+// checkpoint path set, every finished cell is journaled (fsync'd JSONL)
+// and `resume` replays the journal instead of re-running those cells;
+// because journal records carry only deterministic values, a resumed
+// aggregate is byte-identical to an uninterrupted one.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "exp/campaign/campaign_aggregator.hpp"
@@ -43,10 +53,18 @@ std::vector<Cell> expand(const CampaignSpec& spec);
 
 struct CellResult {
   Cell cell;
+  /// Valid only when status == kOk; default-initialized otherwise.
   metrics::RunMetrics metrics;
   /// Wall time of this cell's run_once (non-deterministic; feeds the
   /// profile sidecar and the table footer, never the aggregate JSON).
+  /// Zero for cells replayed from a journal.
   double wall_seconds = 0.0;
+  CellStatus status = CellStatus::kOk;
+  /// The final attempt's exception what(); empty when status == kOk.
+  std::string error;
+  /// run_once invocations spent on this cell (1 + retries used). Cells
+  /// replayed from a journal keep their recorded count.
+  unsigned attempts = 1;
 };
 
 struct CampaignResult {
@@ -63,6 +81,14 @@ struct CampaignResult {
                ? static_cast<double>(cells.size()) / wall_seconds
                : 0.0;
   }
+
+  [[nodiscard]] std::size_t failed_cells() const noexcept;
+  [[nodiscard]] std::size_t timed_out_cells() const noexcept;
+  /// True when every cell survived (the common case; sinks render the
+  /// exact pre-fault-tolerance byte format for it).
+  [[nodiscard]] bool complete() const noexcept {
+    return failed_cells() == 0 && timed_out_cells() == 0;
+  }
 };
 
 struct RunnerOptions {
@@ -70,9 +96,30 @@ struct RunnerOptions {
   /// 1 = run serially on the caller.
   std::size_t threads = 0;
   /// Progress hook, invoked per finished cell in completion order under
-  /// an internal mutex (callbacks need no locking of their own).
+  /// an internal mutex (callbacks need no locking of their own). Cells
+  /// replayed from a journal are not re-announced; `done` starts past
+  /// them.
   std::function<void(const CellResult&, std::size_t done, std::size_t total)>
       on_cell;
+  /// Abort the campaign on the first cell that still fails after its
+  /// retries (pre-PR-7 behavior). Timed-out cells abort too. Default is
+  /// graceful degradation: record the loss, run everything else.
+  bool strict = false;
+  /// Extra run_once attempts per failed cell (same cell seed — a cell is
+  /// a pure function of it, so retries only help transient faults).
+  /// Timed-out cells are never retried: the budget is already spent.
+  unsigned retries = 0;
+  /// Per-cell wall-clock budget in seconds (0 = no watchdog), enforced
+  /// cooperatively via util::CancelToken at kernel batch-cycle
+  /// boundaries and per GA generation.
+  double cell_timeout = 0.0;
+  /// Journal path for checkpointing (empty = no journal). Without
+  /// `resume` an existing file is truncated.
+  std::string checkpoint;
+  /// Replay `checkpoint` and skip the cells it already records. Requires
+  /// `checkpoint`; throws if the journal belongs to a different
+  /// campaign/seed or records a mismatching cell seed.
+  bool resume = false;
 };
 
 class CampaignRunner {

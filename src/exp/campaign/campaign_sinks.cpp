@@ -48,7 +48,14 @@ std::string render_table(const CampaignResult& result) {
   }
   util::Table table(std::move(headers));
   for (const GroupSummary& group : result.groups) {
-    table.row().cell(group.scenario).cell(group.policy).cell(group.cells);
+    // Degraded groups show surviving/expected ("2/3") so a reduced n is
+    // visible right in the grid; clean groups keep the plain count.
+    std::string cells_text = std::to_string(group.cells);
+    if (group.degraded()) {
+      cells_text += '/';
+      cells_text += std::to_string(group.expected);
+    }
+    table.row().cell(group.scenario).cell(group.policy).cell(cells_text);
     for (const MetricSummary& metric : group.metrics) {
       table.cell(format_mean_ci(metric.summary));
     }
@@ -63,6 +70,14 @@ std::string render_table(const CampaignResult& result) {
                 result.wall_seconds, result.threads,
                 result.cells_per_second());
   out << footer;
+  if (!result.complete()) {
+    char degraded[160];
+    std::snprintf(degraded, sizeof degraded,
+                  "DEGRADED: %zu cell(s) failed, %zu timed out — means "
+                  "cover surviving replications only\n",
+                  result.failed_cells(), result.timed_out_cells());
+    out << degraded;
+  }
   return out.str();
 }
 
@@ -123,6 +138,13 @@ std::string render_json(const CampaignResult& result) {
     out << "      \"scenario\": " << quote(group.scenario) << ",\n";
     out << "      \"policy\": " << quote(group.policy) << ",\n";
     out << "      \"cells\": " << group.cells << ",\n";
+    // Degradation fields are conditional so clean campaigns stay
+    // byte-identical to pre-fault-tolerance artifacts.
+    if (group.degraded()) {
+      out << "      \"expected\": " << group.expected << ",\n";
+      out << "      \"failed\": " << group.failed << ",\n";
+      out << "      \"timed_out\": " << group.timed_out << ",\n";
+    }
     out << "      \"metrics\": {";
     first = true;
     for (const MetricSummary& metric : group.metrics) {
@@ -149,10 +171,17 @@ std::string render_json(const CampaignResult& result) {
         << quote(result.spec.policies[cell.cell.policy].display())
         << ", \"replication\": " << cell.cell.replication
         << ", \"seed\": " << quote(hex_seed(cell.cell.seed));
-    for (const MetricDef* def : metrics) {
-      if (!def->deterministic) continue;
-      out << ", " << quote(def->key) << ": "
-          << number(def->value(cell.metrics));
+    if (cell.status == CellStatus::kOk) {
+      for (const MetricDef* def : metrics) {
+        if (!def->deterministic) continue;
+        out << ", " << quote(def->key) << ": "
+            << number(def->value(cell.metrics));
+      }
+    } else {
+      // Lost cells carry their status and error instead of metric values
+      // (which would be meaningless defaults).
+      out << ", \"status\": " << quote(status_name(cell.status))
+          << ", \"error\": " << quote(cell.error);
     }
     out << "}" << (i + 1 < result.cells.size() ? "," : "") << "\n";
   }
@@ -184,8 +213,14 @@ std::string render_profile(const CampaignResult& result) {
         << ", \"wall_seconds\": " << number(cell.wall_seconds)
         << ", \"scheduler_seconds\": "
         << number(cell.metrics.scheduler_seconds)
-        << ", \"batch_invocations\": " << cell.metrics.batch_invocations
-        << "}" << (i + 1 < result.cells.size() ? "," : "") << "\n";
+        << ", \"batch_invocations\": " << cell.metrics.batch_invocations;
+    // Retry/status accounting, conditional so clean single-attempt runs
+    // keep the pre-fault-tolerance sidecar bytes.
+    if (cell.attempts != 1) out << ", \"attempts\": " << cell.attempts;
+    if (cell.status != CellStatus::kOk) {
+      out << ", \"status\": " << quote(status_name(cell.status));
+    }
+    out << "}" << (i + 1 < result.cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n";
   out << "}\n";

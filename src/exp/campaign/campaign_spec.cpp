@@ -119,6 +119,28 @@ PolicyRef parse_policy_ref(const Value& entry) {
   return ref;
 }
 
+FaultPlan parse_fault_plan(const Value& entry) {
+  check_keys(entry,
+             {"throw_prob", "delay_prob", "delay_seconds", "scenario",
+              "policy"},
+             "\"faults\" plan");
+  FaultPlan plan;
+  if (const Value* v = entry.find("throw_prob")) {
+    plan.throw_prob = v->as_number();
+  }
+  if (const Value* v = entry.find("delay_prob")) {
+    plan.delay_prob = v->as_number();
+  }
+  if (const Value* v = entry.find("delay_seconds")) {
+    plan.delay_seconds = v->as_number();
+  }
+  if (const Value* v = entry.find("scenario")) {
+    plan.scenario = v->as_string();
+  }
+  if (const Value* v = entry.find("policy")) plan.policy = v->as_string();
+  return plan;
+}
+
 }  // namespace
 
 Scenario ScenarioRef::resolve() const {
@@ -196,13 +218,27 @@ void CampaignSpec::validate() const {
       spec_error(message + ")");
     }
   }
+
+  faults.validate();
+  // Fault filters must name real axis labels: a typo'd filter would
+  // silently inject nothing and the chaos run would prove nothing.
+  if (!faults.scenario.empty() &&
+      seen_scenarios.find(faults.scenario) == seen_scenarios.end()) {
+    spec_error("faults.scenario \"" + faults.scenario +
+               "\" names no scenario label in this spec");
+  }
+  if (!faults.policy.empty() &&
+      seen_policies.find(faults.policy) == seen_policies.end()) {
+    spec_error("faults.policy \"" + faults.policy +
+               "\" names no policy label in this spec");
+  }
 }
 
 CampaignSpec parse_spec(const Value& doc) {
   if (!doc.is_object()) spec_error("top-level value must be an object");
   check_keys(doc,
              {"name", "seed", "replications", "metrics", "scenarios",
-              "policies"},
+              "policies", "faults"},
              "campaign");
   CampaignSpec spec;
   if (const Value* name = doc.find("name")) spec.name = name->as_string();
@@ -220,6 +256,9 @@ CampaignSpec parse_spec(const Value& doc) {
   }
   for (const Value& entry : doc.at("policies").items()) {
     spec.policies.push_back(parse_policy_ref(entry));
+  }
+  if (const Value* faults = doc.find("faults")) {
+    spec.faults = parse_fault_plan(*faults);
   }
   spec.validate();
   return spec;

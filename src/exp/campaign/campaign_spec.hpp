@@ -14,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exp/fault_plan.hpp"
 #include "exp/roster.hpp"
 #include "exp/scenario.hpp"
 #include "util/json.hpp"
@@ -65,6 +66,10 @@ struct CampaignSpec {
   std::vector<std::string> metrics;
   std::vector<ScenarioRef> scenarios;
   std::vector<PolicyRef> policies;
+  /// Optional chaos plan (JSON key "faults"); empty by default, in which
+  /// case no injection code runs and artifacts are byte-identical to a
+  /// spec without the key.
+  FaultPlan faults;
 
   /// Full structural validation: non-empty axes, replications >= 1,
   /// unique labels, known registry/metric names. Throws

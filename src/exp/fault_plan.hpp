@@ -1,0 +1,70 @@
+// Deterministic fault injection for campaign chaos testing.
+//
+// A FaultPlan describes throw/delay faults injected at the run_once
+// boundary of campaign cells: every {scenario, policy, replication,
+// attempt} draws from its own util::SeedMix-derived stream
+// (SeedMix(spec seed).mix("fault").mix(cell key).mix(attempt)), so the
+// exact set of injected faults is a pure function of the spec — the same
+// cells fail at any thread count, degraded aggregates are byte-stable,
+// and a CI chaos run is reproducible from its seed alone. Mixing the
+// attempt index gives retries fresh draws, which is what makes injected
+// faults *transient*: a cell with throw_prob 0.5 usually survives a
+// couple of --retries, exercising the retry path end to end.
+//
+// Injection is strictly opt-in: an empty() plan (the default) is never
+// consulted and leaves every artifact byte-identical to a build without
+// fault injection at all.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gridsched::exp {
+
+/// Thrown by maybe_inject for a "throw" fault. A distinct type so tests
+/// and logs can tell injected chaos from real faults; the campaign
+/// runner treats both identically (failed cell, retried if budget
+/// remains).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct FaultPlan {
+  /// P(throw InjectedFault) per cell attempt, drawn deterministically.
+  double throw_prob = 0.0;
+  /// P(sleep delay_seconds) per cell attempt — stalls the cell so the
+  /// --cell-timeout watchdog path is testable without a real hang.
+  double delay_prob = 0.0;
+  double delay_seconds = 0.0;
+  /// Optional filters: when non-empty, only cells whose scenario/policy
+  /// display label matches are eligible for injection. Lets a chaos spec
+  /// target one axis ("fail psa cells only") while the rest of the
+  /// campaign runs clean.
+  std::string scenario;
+  std::string policy;
+
+  /// True when the plan can never inject anything (the default). Empty
+  /// plans are skipped entirely — not even an RNG stream is created.
+  [[nodiscard]] bool empty() const noexcept {
+    return throw_prob <= 0.0 && delay_prob <= 0.0;
+  }
+
+  /// Structural validation: probabilities in [0, 1], non-negative delay,
+  /// a delay probability only with a positive delay. Throws
+  /// std::invalid_argument.
+  void validate() const;
+};
+
+/// Consult `plan` for one cell attempt (attempt is 0-based). Throws
+/// InjectedFault for a throw fault, sleeps for a delay fault, otherwise
+/// returns. The draw order is fixed (throw before delay) so a plan with
+/// both kinds is still deterministic.
+void maybe_inject(const FaultPlan& plan, std::uint64_t spec_seed,
+                  std::string_view scenario, std::string_view policy,
+                  std::size_t replication, unsigned attempt);
+
+}  // namespace gridsched::exp

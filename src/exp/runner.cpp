@@ -11,7 +11,8 @@ namespace {
 /// Sufferage (half each), recording every batch solution into the STGA's
 /// history table.
 void train_stga(const Scenario& scenario, const workload::Workload& main,
-                core::GaScheduler& stga, std::uint64_t seed) {
+                core::GaScheduler& stga, std::uint64_t seed,
+                const util::CancelToken* cancel) {
   const std::size_t total = scenario.training_jobs;
   if (total == 0) return;
   const std::size_t half = total / 2;
@@ -39,6 +40,7 @@ void train_stga(const Scenario& scenario, const workload::Workload& main,
     core::RecordingScheduler recorder(*heuristic, stga);
     sim::EngineConfig engine_config = scenario.engine;
     engine_config.seed = phase_seed;
+    engine_config.cancel = cancel;  // the watchdog covers training too
     sim::Engine engine(training.sites, training.jobs, engine_config,
                        training.exec);
     engine.run(recorder);
@@ -59,9 +61,17 @@ metrics::RunMetrics run_once(const Scenario& scenario,
   std::unique_ptr<sim::BatchScheduler> scheduler = spec.make(ga_pool,
                                                              algo_seed);
 
+  // Cancellation attaches before training: a timed-out cell must not
+  // spend its whole budget in the bootstrap phase.
+  if (hooks.cancel != nullptr) {
+    if (auto* ga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {
+      ga->set_cancel_token(hooks.cancel);
+    }
+  }
+
   if (spec.wants_training) {
     if (auto* stga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {
-      train_stga(scenario, workload, *stga, seed);
+      train_stga(scenario, workload, *stga, seed, hooks.cancel);
     }
   }
 
@@ -75,6 +85,7 @@ metrics::RunMetrics run_once(const Scenario& scenario,
 
   sim::EngineConfig engine_config = scenario.engine;
   engine_config.seed = engine_seed;
+  engine_config.cancel = hooks.cancel;
   sim::Engine engine(workload.sites, workload.jobs, engine_config,
                      workload.exec, workload.churn);
   engine.set_observer(hooks.observer);

@@ -12,6 +12,7 @@
 #include "exp/scenario.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/observer.hpp"
+#include "util/cancel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gridsched::exp {
@@ -26,6 +27,13 @@ struct RunHooks {
   /// Receives one GaProfile per scheduler invocation when the algorithm
   /// is GA-based (ignored for heuristic specs).
   std::vector<core::GaProfile>* ga_profiles = nullptr;
+  /// Cooperative cancel token (non-owning; may be null). Polled at every
+  /// kernel batch cycle — including the STGA training phase's engines —
+  /// and once per GA generation; a cancelled/expired token aborts the run
+  /// with util::CancelledError before any metrics are produced. Unlike
+  /// the passive hooks above, the token can end the run early; it never
+  /// changes the results of a run it lets finish.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Build workload, (optionally) run the training phase, simulate, measure.

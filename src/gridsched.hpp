@@ -10,9 +10,11 @@
 #include "core/history.hpp"         // IWYU pragma: export
 #include "core/operators.hpp"       // IWYU pragma: export
 #include "exp/campaign/campaign_aggregator.hpp" // IWYU pragma: export
+#include "exp/campaign/campaign_journal.hpp"    // IWYU pragma: export
 #include "exp/campaign/campaign_runner.hpp"     // IWYU pragma: export
 #include "exp/campaign/campaign_sinks.hpp"      // IWYU pragma: export
 #include "exp/campaign/campaign_spec.hpp"       // IWYU pragma: export
+#include "exp/fault_plan.hpp"       // IWYU pragma: export
 #include "exp/roster.hpp"           // IWYU pragma: export
 #include "exp/runner.hpp"           // IWYU pragma: export
 #include "exp/scenario.hpp"         // IWYU pragma: export
@@ -37,6 +39,7 @@
 #include "sim/process/security_failure_process.hpp" // IWYU pragma: export
 #include "sim/process/site_churn_process.hpp"       // IWYU pragma: export
 #include "sim/scheduling.hpp"       // IWYU pragma: export
+#include "util/cancel.hpp"          // IWYU pragma: export
 #include "util/cli.hpp"             // IWYU pragma: export
 #include "util/json.hpp"            // IWYU pragma: export
 #include "util/log.hpp"             // IWYU pragma: export

@@ -15,7 +15,8 @@ RunMetrics compute_metrics(const sim::Engine& engine) {
   for (const sim::Job& job : jobs) {
     if (job.state != sim::JobState::kCompleted) {
       throw std::invalid_argument(
-          "compute_metrics: engine has unfinished jobs");
+          "compute_metrics: " +
+          sim::describe_unfinished(jobs, engine.makespan()));
     }
     if (job.took_risk) ++metrics.n_risk;
     if (job.failures > 0) ++metrics.n_fail;

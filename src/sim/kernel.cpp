@@ -7,6 +7,28 @@
 
 namespace gridsched::sim {
 
+std::string describe_unfinished(const std::vector<Job>& jobs, Time sim_time) {
+  constexpr std::size_t kMaxNamed = 5;
+  std::size_t unfinished = 0;
+  std::string ids;
+  for (const Job& job : jobs) {
+    if (job.state == JobState::kCompleted) continue;
+    ++unfinished;
+    if (unfinished <= kMaxNamed) {
+      if (!ids.empty()) ids += ", ";
+      ids += std::to_string(job.id);
+      ids += job.state == JobState::kDispatched ? " (dispatched)"
+                                                : " (pending)";
+    }
+  }
+  std::string text = std::to_string(unfinished) + " of " +
+                     std::to_string(jobs.size()) + " job(s) unfinished at " +
+                     "sim time " + std::to_string(sim_time) + "; first ids: [" +
+                     ids;
+  if (unfinished > kMaxNamed) text += ", ...";
+  return text + "]";
+}
+
 SimKernel::SimKernel(std::vector<SiteConfig> sites, std::vector<Job> jobs,
                      EngineConfig config, ExecModel exec_model)
     : config_(config), exec_model_(std::move(exec_model)) {
@@ -128,9 +150,17 @@ void SimKernel::run() {
   // The loop ends when every job has completed, not when the queue drains:
   // an open-ended process (site churn) keeps future events queued for as
   // long as the simulation could need them.
+  Time now = 0.0;
   while (!events_.empty()) {
     if (counters_.completed_jobs == jobs_.size()) break;
     const Event event = events_.pop();
+    now = event.time;
+    // Watchdog checkpoint: batch cycles are the kernel's natural pause
+    // points (bounded work between them), so a cancelled/expired token
+    // aborts within one cycle without any asynchronous interruption.
+    if (config_.cancel != nullptr && event.kind == EventKind::kBatchCycle) {
+      config_.cancel->check("simulation batch cycle");
+    }
     if (observer_) observer_->on_event(*this, event);
     SimProcess* route = routes_[static_cast<std::size_t>(event.kind)];
     if (route == nullptr) {
@@ -140,7 +170,8 @@ void SimKernel::run() {
   }
 
   if (counters_.completed_jobs != jobs_.size()) {
-    throw std::runtime_error("Engine: simulation ended with unfinished jobs");
+    throw std::runtime_error("Engine: simulation ended with " +
+                             describe_unfinished(jobs_, now));
   }
   if (observer_) observer_->on_run_end(*this);
 }

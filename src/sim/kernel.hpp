@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -20,10 +21,18 @@
 #include "sim/job.hpp"
 #include "sim/observer.hpp"
 #include "sim/site.hpp"
+#include "util/cancel.hpp"
 
 namespace gridsched::sim {
 
 class SimKernel;
+
+/// Diagnostic text for runs that end with incomplete jobs: names the
+/// unfinished count, the first few job ids (with their states) and the
+/// simulation time. Shared by the kernel's terminal error and
+/// metrics::compute_metrics so both failure surfaces stay equally
+/// actionable.
+std::string describe_unfinished(const std::vector<Job>& jobs, Time sim_time);
 
 /// When a doomed risky run is detected as failed (DESIGN.md S4).
 enum class FailureDetection {
@@ -45,6 +54,12 @@ struct EngineConfig {
   bool validate_feasibility = true;
   /// Abort if this many consecutive non-empty batches make no progress.
   std::size_t max_idle_cycles = 10000;
+  /// Cooperative cancellation (non-owning; may be null). The kernel polls
+  /// the token at every batch-cycle boundary and aborts the run with
+  /// util::CancelledError when it was cancelled or its wall-clock
+  /// deadline expired — the campaign layer's per-cell watchdog. A null
+  /// token costs a single branch per cycle.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Aggregate outcome counters kept by the kernel while it runs; per-job

@@ -1,0 +1,101 @@
+// Cooperative cancellation for long-running simulation work.
+//
+// A CancelToken is shared between a controller (which may cancel() it or
+// arm a wall-clock deadline) and workers that poll it at natural
+// checkpoint boundaries — the simulation kernel checks at every batch
+// cycle, the GA engine once per generation — and bail out by throwing
+// CancelledError from check(). Cancellation is therefore prompt (bounded
+// by one batch cycle / one GA generation of work) without any
+// asynchronous thread interruption, and a cancelled run produces NO
+// partial artifacts: the exception unwinds before any sink runs.
+//
+// Determinism note: the *decision points* are deterministic (cycle and
+// generation boundaries), but whether a deadline has expired at a given
+// decision point depends on host wall-clock speed. Timed-out cells are
+// therefore excluded from byte-stable aggregates the same way failed
+// cells are (see exp::campaign) — a deadline must never gate anything
+// that feeds a committed artifact of a successful run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gridsched::util {
+
+/// Thrown by CancelToken::check() when the token was cancelled or its
+/// deadline expired. A distinct type so callers can classify "gave up on
+/// purpose" (timed out / cancelled) separately from real faults.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that never expires on its own; only cancel() stops it.
+  CancelToken() = default;
+
+  /// A token whose deadline is `seconds` of wall time from now.
+  /// seconds <= 0 arms an already-expired deadline (useful in tests).
+  /// (Prvalue return: atomics make the token non-movable, so the factory
+  /// constructs directly into the caller's object.)
+  static CancelToken with_deadline(double seconds) {
+    return CancelToken(seconds);
+  }
+
+  /// Request cancellation (thread-safe; idempotent).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool expired() const noexcept {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// True when a cooperative worker should stop at its next checkpoint.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return cancelled() || expired();
+  }
+
+  /// Checkpoint: record the poll, then throw CancelledError naming
+  /// `where` if the token was cancelled or the deadline has passed.
+  void check(const char* where) const {
+    checks_.fetch_add(1, std::memory_order_relaxed);
+    if (cancelled()) {
+      throw CancelledError(std::string("cancelled at ") + where);
+    }
+    if (expired()) {
+      throw CancelledError(std::string("wall-clock budget exhausted at ") +
+                           where);
+    }
+  }
+
+  /// Number of check() polls so far — observability for tests asserting
+  /// that a run actually honoured its token.
+  [[nodiscard]] std::uint64_t checks() const noexcept {
+    return checks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit CancelToken(double deadline_seconds)
+      : has_deadline_(true),
+        deadline_(Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(deadline_seconds))) {}
+
+  std::atomic<bool> cancelled_{false};
+  /// Poll counter (mutable: check() is conceptually const for workers).
+  mutable std::atomic<std::uint64_t> checks_{0};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+}  // namespace gridsched::util

@@ -70,15 +70,34 @@ void ThreadPool::parallel_for_chunks(
     }));
     begin = end;
   }
-  std::exception_ptr first_error;
+  // Drain every future before reporting: a rethrow mid-drain would leave
+  // later chunks running against destroyed caller state. One failure
+  // rethrows the original exception (type intact — CancelledError vs
+  // plain faults stay distinguishable); several failures aggregate into
+  // one AggregateError that preserves every what().
+  std::vector<std::exception_ptr> errors;
   for (auto& future : futures) {
     try {
       future.get();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      errors.push_back(std::current_exception());
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  if (errors.size() == 1) std::rethrow_exception(errors.front());
+  if (errors.size() > 1) {
+    std::vector<std::string> messages;
+    messages.reserve(errors.size());
+    for (const std::exception_ptr& error : errors) {
+      try {
+        std::rethrow_exception(error);
+      } catch (const std::exception& e) {
+        messages.emplace_back(e.what());
+      } catch (...) {
+        messages.emplace_back("unknown non-std exception");
+      }
+    }
+    throw AggregateError(std::move(messages));
+  }
 }
 
 ThreadPool& global_pool() {

@@ -9,11 +9,40 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace gridsched::util {
+
+/// Several workers of one parallel_for failed. Every worker's what() is
+/// preserved (messages(), and all of them joined into what()) so a
+/// campaign abort can name every failed cell instead of only the first.
+/// A single worker failure rethrows the original exception unchanged —
+/// this type only appears for genuinely concurrent failures.
+class AggregateError : public std::runtime_error {
+ public:
+  explicit AggregateError(std::vector<std::string> messages)
+      : std::runtime_error(join(messages)), messages_(std::move(messages)) {}
+
+  [[nodiscard]] const std::vector<std::string>& messages() const noexcept {
+    return messages_;
+  }
+
+ private:
+  static std::string join(const std::vector<std::string>& messages) {
+    std::string what =
+        std::to_string(messages.size()) + " parallel tasks failed:";
+    for (const std::string& message : messages) {
+      what += "\n  - " + message;
+    }
+    return what;
+  }
+
+  std::vector<std::string> messages_;
+};
 
 class ThreadPool {
  public:
@@ -45,7 +74,9 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, n) across the pool, blocking until all complete.
   /// Work is split into contiguous chunks (one per worker by default).
-  /// The first exception thrown by any invocation is rethrown on the caller.
+  /// A single failing chunk rethrows its exception unchanged; when several
+  /// chunks fail concurrently an AggregateError carrying every what() is
+  /// thrown instead (no failure is ever silently dropped).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t chunks = 0);
 

@@ -237,9 +237,11 @@ TEST(CampaignRunner, ProgressCallbackSeesEveryCell) {
 }
 
 TEST(CampaignRunner, FailingCellErrorNamesTheCell) {
-  // A custom scenario whose workload generator throws at run time: the
-  // campaign abort must label the exact {scenario, policy, replication}
-  // instead of surfacing the worker's context-free message.
+  // A custom scenario whose workload generator throws at run time: under
+  // --strict the campaign abort must label the exact {scenario, policy,
+  // replication} instead of surfacing the worker's context-free message.
+  // (The graceful default records the failure instead of throwing — see
+  // exp_fault_tolerance_test.cpp.)
   CampaignSpec spec;
   spec.name = "boom";
   spec.seed = 5;
@@ -259,6 +261,7 @@ TEST(CampaignRunner, FailingCellErrorNamesTheCell) {
 
   RunnerOptions options;
   options.threads = 1;
+  options.strict = true;
   try {
     CampaignRunner(options).run(spec);
     FAIL() << "expected the broken cell to abort the campaign";

@@ -105,6 +105,42 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
                std::logic_error);
 }
 
+TEST(ThreadPool, SingleFailurePreservesExceptionType) {
+  // One failing chunk must rethrow the original exception unchanged (not
+  // wrapped) so catch sites keyed on the type still work.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   8, [](std::size_t i) {
+                     if (i == 3) throw std::invalid_argument("just me");
+                   },
+                   8),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, ConcurrentFailuresAggregateEveryWhat) {
+  // Several chunks fail: none may be dropped. One chunk per item makes
+  // every throwing index its own worker task.
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(
+        8,
+        [](std::size_t i) {
+          if (i % 2 == 1) {
+            throw std::runtime_error("task " + std::to_string(i) + " died");
+          }
+        },
+        8);
+    FAIL() << "expected an aggregate failure";
+  } catch (const AggregateError& error) {
+    EXPECT_EQ(error.messages().size(), 4u);
+    const std::string what = error.what();
+    for (const std::size_t i : {1u, 3u, 5u, 7u}) {
+      const std::string expected = "task " + std::to_string(i) + " died";
+      EXPECT_NE(what.find(expected), std::string::npos) << what;
+    }
+  }
+}
+
 TEST(ThreadPool, TasksRunConcurrently) {
   ThreadPool pool(2);
   std::atomic<bool> first_running{false};
