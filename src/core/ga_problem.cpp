@@ -126,6 +126,9 @@ void DecodeScratch::bind_from(const DecodeScratch& other) {
   pfail_gather_.reserve(binding_->n_jobs);
 }
 
+// GS-FASTPATH-BEGIN: per-decode hot path — zero steady-state
+// allocations (ROADMAP "Decode fast-path invariants"; gridsched_lint
+// GS-R01 rejects stable_sort/inplace_merge/vector/new in this region).
 std::span<const DecodeScratch::SortedGene> DecodeScratch::prepare(
     const GaProblem& problem, const Chromosome& chromosome) noexcept {
   assert(binding_ != nullptr && chromosome.size() == binding_->n_jobs &&
@@ -221,6 +224,7 @@ sim::NodeAvailability::Window DecodeScratch::reserve(sim::SiteId s, unsigned k,
   for (std::size_t i = p - k; i < p; ++i) free_times[i] = end;
   return {start, end};
 }
+// GS-FASTPATH-END
 
 namespace {
 
@@ -258,6 +262,9 @@ void validate_decode_args(const GaProblem& problem,
 
 }  // namespace
 
+// GS-FASTPATH-BEGIN: the noexcept scratch-backed entry points the GA
+// engine calls per evaluation (the validating overloads between them only
+// bind a thread-local scratch — no per-decode heap traffic either).
 double decode_fitness(const GaProblem& problem, const Chromosome& chromosome,
                       const FitnessParams& params,
                       DecodeScratch& scratch) noexcept {
@@ -308,6 +315,7 @@ std::span<const std::size_t> decode_order_into(
   }
   return scratch.order_;
 }
+// GS-FASTPATH-END
 
 std::vector<std::size_t> decode_order(const GaProblem& problem,
                                       const Chromosome& chromosome) {

@@ -186,6 +186,7 @@ class DecodeScratch {
 /// completion to `consume(job_index, expected_completion)`. This is the hot
 /// primitive under decode_fitness/batch_makespan; the chromosome must be
 /// feasible (validated once by evolve, not per call).
+// GS-FASTPATH-BEGIN: the inlined per-evaluation loop (GS-R01 no-alloc).
 template <typename Consume>
 void decode_into(DecodeScratch& scratch, const GaProblem& problem,
                  const Chromosome& chromosome, double risk_penalty,
@@ -199,6 +200,7 @@ void decode_into(DecodeScratch& scratch, const GaProblem& problem,
     consume(j, window.end + risk_penalty * scratch.pfail_of(j) * exec);
   }
 }
+// GS-FASTPATH-END
 
 /// Build the GA subproblem from a scheduler context. Jobs whose admissible
 /// set under `policy` is empty are dropped (they stay pending in the

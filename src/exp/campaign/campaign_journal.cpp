@@ -118,6 +118,13 @@ std::string encode_record(const JournalRecord& record) {
 
 JournalRecord decode_record(const std::string& line) {
   const util::json::Value doc = util::json::parse(line);
+  // Strict like the spec parser: a key this build doesn't know means the
+  // journal came from a newer build — refuse rather than drop data.
+  util::json::check_keys(doc,
+                         {"scenario", "policy", "replication", "seed",
+                          "status", "attempts", "n_jobs",
+                          "batch_invocations", "metrics", "error"},
+                         "journal record");
   JournalRecord record;
   record.scenario = doc.at("scenario").as_string();
   record.policy = doc.at("policy").as_string();
@@ -224,6 +231,8 @@ JournalContents load_journal(const std::string& path,
   // Header.
   try {
     const util::json::Value header = util::json::parse(lines[0]);
+    util::json::check_keys(header, {"journal", "campaign", "spec_seed"},
+                           "journal header");
     if (header.at("journal").as_string() != kJournalFormat) {
       throw std::runtime_error("not a " + std::string(kJournalFormat) +
                                " file");

@@ -144,6 +144,9 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
         spec.scenarios[cells[i].scenario].display();
     const std::string policy_label =
         spec.policies[cells[i].policy].display();
+    // Cell timing reaches the --profile sidecar only, never the
+    // byte-stable aggregate (ROADMAP "Campaign fault-tolerance").
+    // NOLINTNEXTLINE(GS-R05): wall-clock is sidecar-only here
     const auto cell_start = std::chrono::steady_clock::now();
     // GA fitness stays serial inside each cell: the pool's workers are
     // busy running cells and must not block on nested waits — and serial
@@ -180,6 +183,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
       }
     }
     out.wall_seconds = std::chrono::duration<double>(
+                           // NOLINTNEXTLINE(GS-R05): sidecar-only
                            std::chrono::steady_clock::now() - cell_start)
                            .count();
     // Journal before any strict-mode throw: the finished work survives
@@ -214,6 +218,9 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
     }
   };
 
+  // Campaign wall seconds feed the table footer and throughput logging
+  // on stdout/stderr — render_json deliberately never serializes them.
+  // NOLINTNEXTLINE(GS-R05): wall-clock is display-only here
   const auto start = std::chrono::steady_clock::now();
   std::size_t threads = options_.threads;
   if (threads == 0) {
@@ -230,6 +237,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
     pool.parallel_for(cells.size(), run_cell, cells.size());
   }
   result.wall_seconds =
+      // NOLINTNEXTLINE(GS-R05): wall-clock is display-only here
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   result.threads = threads;

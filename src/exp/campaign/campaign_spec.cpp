@@ -29,17 +29,10 @@ security::RiskPolicy policy_for(const PolicyRef& ref) {
   throw std::invalid_argument("campaign spec: " + what);
 }
 
-/// Strict key check so spec typos fail loudly instead of silently running
-/// the defaults ("generatoins": 50 would otherwise burn a campaign).
-void check_keys(const Value& object,
-                std::initializer_list<std::string_view> allowed,
-                const std::string& context) {
-  for (const auto& [key, value] : object.members()) {
-    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
-      spec_error("unknown key \"" + key + "\" in " + context);
-    }
-  }
-}
+/// Strict key check — the shared util::json helper — so spec typos fail
+/// loudly instead of silently running the defaults ("generatoins": 50
+/// would otherwise burn a campaign).
+using util::json::check_keys;
 
 ScenarioRef parse_scenario_ref(const Value& entry) {
   ScenarioRef ref;

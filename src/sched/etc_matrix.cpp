@@ -36,6 +36,9 @@ EtcMatrix::EtcMatrix(const std::vector<sim::BatchJob>& jobs,
                      const std::vector<sim::SiteConfig>& sites)
     : n_jobs_(jobs.size()), n_sites_(sites.size()),
       cells_(fill_cells(jobs, sites, [&](std::size_t j, std::size_t s) {
+        // The one sanctioned rank-1 projection — the context-free
+        // fallback when no raw ETC matrix is attached.
+        // NOLINTNEXTLINE(GS-R03): sanctioned work/speed fallback
         return jobs[j].work / sites[s].speed;
       })) {}
 

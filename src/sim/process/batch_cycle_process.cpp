@@ -41,9 +41,13 @@ void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
   }
 
   ++kernel.counters().batch_invocations;
+  // Scheduler wall seconds feed the observer hook, the profile sidecar and
+  // the kernel.scheduler_seconds gauge only — never a byte-stable artifact.
+  // NOLINTNEXTLINE(GS-R05): wall-clock is observability-only here
   const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<Assignment> assignments = scheduler_.schedule(context);
   const double wall =
+      // NOLINTNEXTLINE(GS-R05): wall-clock is observability-only here
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();

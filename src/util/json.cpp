@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cmath>
@@ -376,6 +377,17 @@ class Parser {
 };
 
 }  // namespace
+
+void check_keys(const Value& object,
+                std::initializer_list<std::string_view> allowed,
+                std::string_view what) {
+  for (const auto& [key, value] : object.members()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw std::invalid_argument("unknown key \"" + key + "\" in " +
+                                  std::string(what));
+    }
+  }
+}
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <string>
@@ -80,6 +81,15 @@ class Value {
   std::shared_ptr<const Array> array_;
   std::shared_ptr<const Members> members_;
 };
+
+/// Strict-parsing helper: throws std::invalid_argument naming the first
+/// member of `object` whose key is not in `allowed` ("unknown key \"k\"
+/// in <what>"), so spec typos fail loudly instead of silently running
+/// defaults. Every parser that reads a JSON object by key calls this on
+/// the object (enforced by gridsched_lint GS-R07).
+void check_keys(const Value& object,
+                std::initializer_list<std::string_view> allowed,
+                std::string_view what);
 
 /// Parse a complete JSON document; throws std::runtime_error with a
 /// "json parse error at line L, column C: ..." message on malformed input

@@ -1,0 +1,256 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace gridsched::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  TokenStream run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_preproc();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          lex_line_comment();
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          lex_block_comment();
+          continue;
+        }
+      }
+      if (ident_start(c)) {
+        lex_identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string();
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void push(TokenKind kind, std::string text, std::size_t line) {
+    out_.tokens.push_back({kind, std::move(text), line});
+  }
+
+  /// Consume to end of logical line (honouring backslash continuations);
+  /// a trailing // comment is split out so NOLINT works on directives.
+  void lex_preproc() {
+    const std::size_t start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        pos_ += 2;
+        ++line_;
+        text.push_back(' ');
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        lex_line_comment();
+        break;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    push(TokenKind::kPreproc, std::move(text), start_line);
+  }
+
+  void lex_line_comment() {
+    const std::size_t start_line = line_;
+    pos_ += 2;  // skip //
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    out_.comments.push_back({std::move(text), start_line});
+  }
+
+  void lex_block_comment() {
+    const std::size_t start_line = line_;
+    pos_ += 2;  // skip /*
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    out_.comments.push_back({std::move(text), start_line});
+  }
+
+  void lex_identifier() {
+    const std::size_t start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) {
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    // Raw string literal: R"delim(...)delim" (and u8R/uR/LR prefixes).
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "LR")) {
+      lex_raw_string(start_line);
+      return;
+    }
+    // Ordinary prefixed string/char literal (u8"x", L'x', ...).
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      lex_string();
+      return;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      lex_char();
+      return;
+    }
+    push(TokenKind::kIdentifier, std::move(text), start_line);
+  }
+
+  void lex_number() {
+    const std::size_t start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      const bool exponent_sign =
+          (c == '+' || c == '-') && !text.empty() &&
+          (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+           text.back() == 'P');
+      if (ident_char(c) || c == '.' || c == '\'' || exponent_sign) {
+        text.push_back(c);
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    push(TokenKind::kNumber, std::move(text), start_line);
+  }
+
+  void lex_string() {
+    const std::size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(src_[pos_]);
+        text.push_back(src_[pos_ + 1]);
+        if (src_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') ++line_;  // unterminated; keep line count sane
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    push(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void lex_raw_string(std::size_t start_line) {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // (
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        pos_ += closer.size();
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    push(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void lex_char() {
+    const std::size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(src_[pos_]);
+        text.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // stray quote, not a literal
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    push(TokenKind::kChar, std::move(text), start_line);
+  }
+
+  void lex_punct() {
+    if (src_[pos_] == ':' && pos_ + 1 < src_.size() &&
+        src_[pos_ + 1] == ':') {
+      push(TokenKind::kPunct, "::", line_);
+      pos_ += 2;
+      return;
+    }
+    push(TokenKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  bool at_line_start_ = true;
+  TokenStream out_;
+};
+
+}  // namespace
+
+TokenStream tokenize(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace gridsched::lint

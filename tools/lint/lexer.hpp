@@ -1,0 +1,46 @@
+// Minimal C++ tokenizer for gridsched_lint. Produces a stream of code
+// tokens (identifiers, literals, punctuation, preprocessor lines) plus a
+// separate list of comments, so rules can match identifier patterns
+// without tripping over comment or string-literal text, while the
+// suppression scanner (NOLINT) and region markers (GS-FASTPATH) read the
+// comments. Dependency-free by design, like util/json.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridsched::lint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords ("new" is an identifier here)
+  kNumber,
+  kString,  ///< text is the literal's content, without quotes
+  kChar,
+  kPunct,    ///< single character, except "::" which is one token
+  kPreproc,  ///< whole logical directive line, continuations joined
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based line of the token's first character
+};
+
+struct Comment {
+  std::string text;      ///< body without the // or /* */ delimiters
+  std::size_t line = 0;  ///< 1-based line where the comment starts
+};
+
+struct TokenStream {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize a translation unit. Never throws on malformed input — an
+/// unterminated literal or comment simply ends at EOF (the linter must
+/// degrade gracefully on code the compiler would reject anyway).
+TokenStream tokenize(std::string_view source);
+
+}  // namespace gridsched::lint

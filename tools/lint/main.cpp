@@ -1,0 +1,57 @@
+// gridsched_lint — repo-specific static analysis for the gridsched tree.
+//
+//   gridsched_lint [--root=DIR] [--rule=GS-Rxx] [--list-rules]
+//
+// Scans src/, tests/, bench/, examples/, and tools/ under --root (default:
+// the current directory), applies the GS-Rxx rules (see --list-rules and
+// README "Static analysis"), prints file:line diagnostics, and exits 1
+// when any rule fires. Wired as the `lint` CTest entry and a blocking CI
+// job; suppress individual findings with // NOLINT(GS-Rxx): reason.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "rules.hpp"
+
+namespace {
+
+bool take_value(std::string_view arg, std::string_view flag,
+                std::string& out) {
+  if (arg.substr(0, flag.size()) != flag) return false;
+  out = std::string(arg.substr(flag.size()));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string only_rule;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& info : gridsched::lint::rule_infos()) {
+        std::cout << info.id << "  " << info.summary << "\n";
+      }
+      return 0;
+    }
+    if (take_value(arg, "--root=", root)) continue;
+    if (take_value(arg, "--rule=", only_rule)) continue;
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gridsched_lint [--root=DIR] [--rule=GS-Rxx] "
+                   "[--list-rules]\n";
+      return 0;
+    }
+    std::cerr << "gridsched_lint: unknown argument \"" << arg
+              << "\" (try --help)\n";
+    return 2;
+  }
+  try {
+    const auto files = gridsched::lint::load_tree(root);
+    return gridsched::lint::run_lint(files, std::cout, only_rule);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

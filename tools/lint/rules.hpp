@@ -1,0 +1,63 @@
+// gridsched_lint rule engine: repo-specific static-analysis rules that
+// mechanize the ROADMAP invariants (see README "Static analysis" for the
+// rule table). Rules run over lexed token streams (lexer.hpp), support
+// path scoping, cross-file checks, and clang-tidy-style suppressions:
+//
+//   // NOLINT(GS-Rxx): reason          — this line
+//   // NOLINTNEXTLINE(GS-Rxx): reason  — the following line
+//   // NOLINTBEGIN(GS-Rxx): reason ... // NOLINTEND(GS-Rxx) — a region
+//
+// A reason after the colon is mandatory; a GS suppression without one is
+// itself a violation (GS-R00), as are unmatched BEGIN/END pairs. Bare
+// `// NOLINT` (clang-tidy's blanket form) never silences a GS rule.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridsched::lint {
+
+/// One file to lint. `path` is repo-relative with '/' separators — rules
+/// scope on it, so tests can lint fixture snippets under fake paths.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;  ///< "GS-R01" ... "GS-R08", "GS-R00" for meta
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+/// The registered rules, in id order (for --list-rules and the README).
+const std::vector<RuleInfo>& rule_infos();
+
+/// Run every rule over `files` and return the unsuppressed diagnostics,
+/// sorted by (file, line, rule).
+std::vector<Diagnostic> run_rules(const std::vector<SourceFile>& files);
+
+/// Lint `files`, printing "file:line: [GS-Rxx] message" per finding plus a
+/// summary line to `out`. Returns the process exit code: 0 clean, 1 when
+/// any diagnostic fired. `only_rule` (e.g. "GS-R03") restricts both the
+/// output and the exit code to one rule; empty runs everything.
+int run_lint(const std::vector<SourceFile>& files, std::ostream& out,
+             std::string_view only_rule = {});
+
+/// Load every .cpp/.hpp under root's src/, tests/, bench/, examples/, and
+/// tools/ directories (sorted by path; build trees are never entered
+/// because only those five roots are walked). Throws std::runtime_error
+/// when root/src does not exist — the sanity check that --root points at
+/// the repo.
+std::vector<SourceFile> load_tree(const std::string& root);
+
+}  // namespace gridsched::lint
