@@ -1,11 +1,16 @@
 // Shared plumbing for the per-figure bench binaries: flag parsing, the
-// paper-roster runners and table helpers. Every binary runs with no
-// arguments and prints the same rows/series the paper reports; flags let
-// you scale the experiment (--jobs, --reps, --seed, --f, ...).
+// paper-roster runners, table helpers and the BENCH_*.json emission
+// helpers (one ordered-key writer instead of per-binary fprintf blocks).
+// Every binary runs with no arguments and prints the same rows/series the
+// paper reports; flags let you scale the experiment (--jobs, --reps,
+// --seed, --f, ...).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gridsched.hpp"
 
@@ -46,6 +51,104 @@ inline void print_banner(const std::string& id, const std::string& claim) {
   std::printf("%s\n", id.c_str());
   std::printf("Paper expectation: %s\n", claim.c_str());
   std::printf("============================================================\n");
+}
+
+/// Ordered single-line JSON object builder for BENCH_*.json rows and
+/// sections: keys render in insertion order, doubles via
+/// util::json::number (shortest-exact), strings RFC-8259-quoted. The
+/// bytes are a pure function of the values fed in — the deterministic
+/// fields of a bench artifact stay diffable across runs.
+class JsonObject {
+ public:
+  JsonObject& num(std::string_view key, double value) {
+    return raw(key, util::json::number(value));
+  }
+  /// Measured (timing) values: rounded to `decimals` so artifacts don't
+  /// carry 15 digits of timer noise. Deterministic fields use num().
+  JsonObject& num(std::string_view key, double value, int decimals) {
+    const double scale = std::pow(10.0, decimals);
+    return num(key, std::round(value * scale) / scale);
+  }
+  JsonObject& integer(std::string_view key, std::uint64_t value) {
+    return raw(key, std::to_string(value));
+  }
+  JsonObject& boolean(std::string_view key, bool value) {
+    return raw(key, value ? "true" : "false");
+  }
+  JsonObject& text(std::string_view key, std::string_view value) {
+    return raw(key, util::json::quote(value));
+  }
+  /// Pre-rendered JSON (nested object/array) — caller guarantees syntax.
+  JsonObject& raw(std::string_view key, std::string value) {
+    fields_.emplace_back(std::string(key), std::move(value));
+    return *this;
+  }
+  [[nodiscard]] std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += util::json::quote(fields_[i].first);
+      out += ": ";
+      out += fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Top-level document form: one field per line, trailing newline.
+  [[nodiscard]] std::string document() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += "  ";
+      out += util::json::quote(fields_[i].first);
+      out += ": ";
+      out += fields_[i].second;
+      out += i + 1 < fields_.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Render pre-built JSON items as a multi-line array block ("[\n  x,\n
+/// ...\n]") so row lists stay readable in committed artifacts.
+inline std::string json_array(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += items[i];
+  }
+  out += items.empty() ? "]" : "\n]";
+  return out;
+}
+
+/// Write a top-level bench document (JsonObject::document() layout).
+/// Returns false (after printing to stderr) when the file cannot be
+/// written — bench mains exit nonzero on it.
+inline bool write_bench_json(const std::string& path,
+                             const JsonObject& document) {
+  const std::string body = document.document();
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
+  if (written != body.size()) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Peak resident set size in MiB — the footer figure bench_decode and
+/// bench_synth both print.
+inline double peak_rss_mib() {
+  return static_cast<double>(obs::peak_rss_bytes()) / 1048576.0;
 }
 
 /// Paper-default STGA configuration (Table 1).

@@ -248,7 +248,7 @@ int main(int argc, char** argv) {
       "%+.2f%% overhead)\n"
       "  peak RSS                  : %.1f MiB\n",
       profiled_ms, profile.generations.size(), overhead_pct,
-      static_cast<double>(obs::peak_rss_bytes()) / 1048576.0);
+      bench::peak_rss_mib());
   if (const auto limit = cli.get("check-overhead")) {
     const double max_pct = std::stod(*limit);
     if (overhead_pct > max_pct) {
@@ -261,47 +261,46 @@ int main(int argc, char** argv) {
   }
 
   // --- JSON -----------------------------------------------------------------
-  std::FILE* out = std::fopen(out_path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
+  std::vector<std::string> decode_rows;
+  decode_rows.reserve(rows.size());
+  for (const DecodeRow& row : rows) {
+    decode_rows.push_back(
+        bench::JsonObject()
+            .text("scenario", row.scenario)
+            .integer("n_jobs", row.n_jobs)
+            .integer("n_sites", row.n_sites)
+            .num("reference_ns_per_decode", row.reference_ns, 1)
+            .num("fast_ns_per_decode", row.fast_ns, 1)
+            .num("speedup", row.reference_ns / row.fast_ns, 3)
+            .integer("reference_allocs_per_decode", row.reference_allocs)
+            .integer("fast_allocs_per_decode", row.fast_allocs)
+            .str());
   }
-  std::fprintf(out, "{\n  \"bench\": \"ga_decode\",\n  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(args.seed));
-  std::fprintf(out, "  \"quick\": %s,\n", args.quick ? "true" : "false");
-  std::fprintf(out, "  \"decode\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const DecodeRow& row = rows[i];
-    std::fprintf(
-        out,
-        "    {\"scenario\": \"%s\", \"n_jobs\": %zu, \"n_sites\": %zu, "
-        "\"reference_ns_per_decode\": %.1f, \"fast_ns_per_decode\": %.1f, "
-        "\"speedup\": %.3f, \"reference_allocs_per_decode\": %llu, "
-        "\"fast_allocs_per_decode\": %llu}%s\n",
-        row.scenario.c_str(), row.n_jobs, row.n_sites, row.reference_ns,
-        row.fast_ns, row.reference_ns / row.fast_ns,
-        static_cast<unsigned long long>(row.reference_allocs),
-        static_cast<unsigned long long>(row.fast_allocs),
-        i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(
-      out,
-      "  \"ga_batch\": {\"n_jobs\": %zu, \"n_sites\": 16, \"population\": "
-      "%zu, \"generations\": %zu, \"reference_eval_bill_ms\": %.2f, "
-      "\"evolve_ms\": %.2f, \"per_batch_speedup\": %.3f, \"evaluations\": "
-      "%llu, \"memo_hits\": %llu},\n",
-      ga_jobs, population, generations, reference_bill_ms, evolve_ms, speedup,
-      static_cast<unsigned long long>(result.evaluations),
-      static_cast<unsigned long long>(result.memo_hits));
-  std::fprintf(
-      out,
-      "  \"observability\": {\"profiled_evolve_ms\": %.2f, "
-      "\"profile_overhead_pct\": %.3f, \"peak_rss_bytes\": %llu}\n",
-      profiled_ms, overhead_pct,
-      static_cast<unsigned long long>(obs::peak_rss_bytes()));
-  std::fprintf(out, "}\n");
-  std::fclose(out);
+  const bench::JsonObject document =
+      bench::JsonObject()
+          .text("bench", "ga_decode")
+          .integer("seed", args.seed)
+          .boolean("quick", args.quick)
+          .raw("decode", bench::json_array(decode_rows))
+          .raw("ga_batch", bench::JsonObject()
+                               .integer("n_jobs", ga_jobs)
+                               .integer("n_sites", 16)
+                               .integer("population", population)
+                               .integer("generations", generations)
+                               .num("reference_eval_bill_ms",
+                                    reference_bill_ms, 2)
+                               .num("evolve_ms", evolve_ms, 2)
+                               .num("per_batch_speedup", speedup, 3)
+                               .integer("evaluations", result.evaluations)
+                               .integer("memo_hits", result.memo_hits)
+                               .str())
+          .raw("observability",
+               bench::JsonObject()
+                   .num("profiled_evolve_ms", profiled_ms, 2)
+                   .num("profile_overhead_pct", overhead_pct, 2)
+                   .integer("peak_rss_bytes", obs::peak_rss_bytes())
+                   .str());
+  if (!bench::write_bench_json(out_path, document)) return 1;
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

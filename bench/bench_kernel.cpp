@@ -1,0 +1,165 @@
+// Kernel throughput bench: drives the event kernel end to end (min-min
+// heuristic, f-risky policy — the cheapest scheduler, so the kernel
+// itself dominates) over the largest registry scenarios and reports
+// events/sec, dispatches/sec and peak RSS. The event/dispatch/outcome
+// counts come from a passive observer and are pure functions of
+// (scenario, jobs, seed) — bit-equal across machines — so the committed
+// BENCH_kernel.json doubles as a determinism baseline: tools/benchgate
+// hard-fails when the counts drift and only warns on throughput (which
+// is hardware-dependent). This is the baseline the ROADMAP's
+// "million-job streaming scale" item will be measured against.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace gridsched;
+using Clock = std::chrono::steady_clock;
+
+/// Tallies the raw event stream and the structured callbacks; passive,
+/// so the run stays bit-identical to an unobserved one.
+class ThroughputObserver final : public sim::KernelObserver {
+ public:
+  std::uint64_t events = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t cycles = 0;
+
+  void on_event(const sim::SimKernel&, const sim::Event&) override {
+    ++events;
+  }
+  void on_dispatch(const sim::SimKernel&, sim::JobId, sim::SiteId,
+                   const sim::NodeAvailability::Window&, double,
+                   unsigned) override {
+    ++dispatches;
+  }
+  void on_cycle(const sim::SimKernel&, sim::Time, std::size_t, std::size_t,
+                double) override {
+    ++cycles;
+  }
+};
+
+struct KernelRow {
+  std::string scenario;
+  std::size_t n_jobs = 0;
+  // Deterministic (benchgate hard-compares these against the baseline).
+  std::uint64_t events = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t interruptions = 0;
+  double makespan = 0.0;
+  // Hardware-dependent (benchgate warns only).
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  double dispatches_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const util::Cli cli(argc, argv);
+  const std::string out_path =
+      cli.get_or("out", std::string("BENCH_kernel.json"));
+
+  bench::print_banner(
+      "Kernel event throughput (min-min f-risky over the largest registry "
+      "scenarios)",
+      "the event kernel sustains O(100k) events/sec under churn and "
+      "failures; event counts are bit-deterministic in (scenario, seed)");
+
+  // The registry's biggest shapes, sized so the full (non --quick) run
+  // finishes in CI minutes: the NAS batch testbed, the PSA stream, the
+  // hardest synthetic heterogeneity class, and the high-churn scenario
+  // (site outages + revocations stress the revocation path).
+  struct Shape {
+    const char* name;
+    std::size_t jobs;
+    std::size_t quick_jobs;
+  };
+  const std::vector<Shape> shapes = {{"nas", 4000, 1000},
+                                     {"psa", 1000, 300},
+                                     {"synth-inconsistent-hihi", 2000, 500},
+                                     {"synth-churn-hi", 1000, 300}};
+  const exp::AlgorithmSpec spec =
+      exp::heuristic_spec("min-min", security::RiskPolicy::f_risky(args.f));
+
+  std::vector<KernelRow> rows;
+  util::Table table({"scenario", "jobs", "events", "dispatches", "cycles",
+                     "makespan (s)", "wall (ms)", "events/s"});
+  for (const Shape& shape : shapes) {
+    const std::size_t jobs = args.quick ? shape.quick_jobs : shape.jobs;
+    const exp::Scenario scenario = exp::make_scenario(shape.name, jobs);
+    ThroughputObserver observer;
+    exp::RunHooks hooks;
+    hooks.observer = &observer;
+    const auto start = Clock::now();
+    const metrics::RunMetrics run =
+        exp::run_once(scenario, spec, args.seed, /*ga_pool=*/nullptr, hooks);
+    const double wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    KernelRow row;
+    row.scenario = shape.name;
+    row.n_jobs = run.n_jobs;
+    row.events = observer.events;
+    row.dispatches = observer.dispatches;
+    row.cycles = observer.cycles;
+    row.failures = run.failure_events;
+    row.interruptions = run.interruptions;
+    row.makespan = run.makespan;
+    row.wall_ms = wall_seconds * 1e3;
+    if (wall_seconds > 0.0) {
+      row.events_per_sec =
+          static_cast<double>(observer.events) / wall_seconds;
+      row.dispatches_per_sec =
+          static_cast<double>(observer.dispatches) / wall_seconds;
+    }
+    rows.push_back(row);
+    table.row()
+        .cell(row.scenario)
+        .cell(row.n_jobs)
+        .cell(row.events)
+        .cell(row.dispatches)
+        .cell(row.cycles)
+        .cell(row.makespan, 0)
+        .cell(row.wall_ms, 1)
+        .cell(row.events_per_sec, 0);
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("peak RSS: %.1f MiB\n", bench::peak_rss_mib());
+
+  std::vector<std::string> scenario_rows;
+  scenario_rows.reserve(rows.size());
+  for (const KernelRow& row : rows) {
+    scenario_rows.push_back(bench::JsonObject()
+                                .text("scenario", row.scenario)
+                                .integer("n_jobs", row.n_jobs)
+                                .integer("events", row.events)
+                                .integer("dispatches", row.dispatches)
+                                .integer("cycles", row.cycles)
+                                .integer("failures", row.failures)
+                                .integer("interruptions", row.interruptions)
+                                .num("makespan", row.makespan)
+                                .num("wall_ms", row.wall_ms, 3)
+                                .num("events_per_sec", row.events_per_sec, 1)
+                                .num("dispatches_per_sec",
+                                     row.dispatches_per_sec, 1)
+                                .str());
+  }
+  const bench::JsonObject document =
+      bench::JsonObject()
+          .text("bench", "kernel")
+          .integer("seed", args.seed)
+          .boolean("quick", args.quick)
+          .raw("scenarios", bench::json_array(scenario_rows))
+          .integer("peak_rss_bytes", obs::peak_rss_bytes());
+  if (!bench::write_bench_json(out_path, document)) return 1;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -72,8 +72,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", exp::campaign::render_table(result).c_str());
   // Wall clock and memory stay out of any --out-json artifact (that one
   // is byte-stable); they live on the human-facing footer only.
-  std::printf("peak RSS: %.1f MiB\n",
-              static_cast<double>(obs::peak_rss_bytes()) / 1048576.0);
+  std::printf("peak RSS: %.1f MiB\n", bench::peak_rss_mib());
 
   if (const auto path = cli.get("out-json")) {
     exp::campaign::JsonFileSink(*path).consume(result);

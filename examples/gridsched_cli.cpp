@@ -11,18 +11,27 @@
 //             --mode=secure|f-risky|risky [--f=0.5] [--seed=S]
 //             [--batch-interval=T] [--lambda=L] [--csv]
 //             [--trace-events=F] [--metrics=F] [--ga-profile=F]
+//             [--timeseries=F] [--timeseries-csv=F]
+//             [--timeseries-interval=SEC]
 //             Simulate and print the paper's metrics. --algo is one of the
 //             registry heuristics ("min-min", "sufferage", "max-min",
 //             "mct", "met", "olb"), "stga" or "ga". --trace-events writes
 //             a Chrome trace_event JSON timeline (chrome://tracing /
 //             Perfetto), --metrics a kernel metric snapshot, --ga-profile
 //             per-generation GA convergence profiles (GA algos only).
+//             --timeseries samples deterministic sim-time telemetry
+//             (queue depth, in-flight attempts, busy fractions, outcome
+//             counters) every --timeseries-interval simulated seconds
+//             (default 1000) and writes it as JSON (--timeseries-csv for
+//             CSV); with --trace-events too, the samples also merge into
+//             the trace as Perfetto counter tracks.
 //   roster    [--scenario=NAME --jobs=N --reps=R --seed=S]
 //             Run the paper's 7-algorithm comparison.
 //   campaign  SPEC.json [--threads=N] [--dry-run] [--out-json=F]
 //             [--out-csv=F] [--profile=F] [--progress] [--quiet]
 //             [--strict] [--retries=N] [--cell-timeout=SEC]
-//             [--checkpoint=F] [--resume]
+//             [--checkpoint=F] [--resume] [--timeseries=DIR]
+//             [--timeseries-interval=SEC]
 //             Run a declarative experiment campaign (scenario x policy x
 //             replication grid; see examples/campaigns/ and the README
 //             "Campaigns" section). --dry-run lists the expanded run
@@ -38,16 +47,22 @@
 //             --cell-timeout arms a cooperative per-cell watchdog;
 //             --checkpoint journals finished cells to F (fsync'd JSONL)
 //             and --resume skips the journaled ones, byte-identically.
+//             --timeseries writes one label-keyed telemetry series per
+//             cell plus the cross-replication aggregate into DIR, all
+//             byte-stable at any --threads (cells replayed via --resume
+//             carry no series — the journal records scalar metrics only).
 //
 // --scenario accepts any name from exp::scenario_names() ("nas", "psa",
 // "synth-inconsistent-hihi", ...). The older --kind=nas|psa spelling is
 // kept as an alias. The global --log-level=debug|info|warn|error|off flag
 // (default: info) controls stderr diagnostics.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gridsched.hpp"
@@ -198,19 +213,48 @@ int cmd_run(const util::Cli& cli) {
   const auto trace_events_path = cli.get("trace-events");
   const auto metrics_path = cli.get("metrics");
   const auto ga_profile_path = cli.get("ga-profile");
+  const auto timeseries_path = cli.get("timeseries");
+  const auto timeseries_csv_path = cli.get("timeseries-csv");
+  const double timeseries_interval =
+      cli.get_or("timeseries-interval", 1000.0);
   obs::SimTraceRecorder trace_recorder;
   obs::MetricRegistry registry;
   std::unique_ptr<obs::KernelMetricsObserver> metrics_observer;
+  std::unique_ptr<obs::TimeSeriesProbe> timeseries_probe;
   sim::KernelObserverTee tee;
   if (trace_events_path) tee.add(&trace_recorder);
   if (metrics_path) {
     metrics_observer = std::make_unique<obs::KernelMetricsObserver>(registry);
     tee.add(metrics_observer.get());
   }
+  if (timeseries_path || timeseries_csv_path) {
+    timeseries_probe =
+        std::make_unique<obs::TimeSeriesProbe>(timeseries_interval);
+    tee.add(timeseries_probe.get());
+  }
   sim::KernelObserver* observer = tee.empty() ? nullptr : &tee;
   std::vector<core::GaProfile> ga_profiles;
   const auto write_observability = [&] {
+    if (timeseries_path) {
+      obs::write_timeseries_file(
+          *timeseries_path,
+          obs::render_timeseries_json(timeseries_probe->series()));
+      GS_LOG_INFO("wrote %zu telemetry samples to %s",
+                  timeseries_probe->series().samples.size(),
+                  timeseries_path->c_str());
+    }
+    if (timeseries_csv_path) {
+      obs::write_timeseries_file(
+          *timeseries_csv_path,
+          obs::render_timeseries_csv(timeseries_probe->series()));
+      GS_LOG_INFO("wrote telemetry CSV to %s", timeseries_csv_path->c_str());
+    }
     if (trace_events_path) {
+      // Counter tracks render under the span tracks in Perfetto; merge
+      // before writing so one file carries the full picture.
+      if (timeseries_probe != nullptr) {
+        trace_recorder.merge_counters(timeseries_probe->series());
+      }
       trace_recorder.write_file(*trace_events_path);
       GS_LOG_INFO("wrote %zu trace events to %s", trace_recorder.size(),
                   trace_events_path->c_str());
@@ -301,7 +345,8 @@ int cmd_campaign(const util::Cli& cli) {
                          "[--out-csv=F] [--profile=F] [--progress] "
                          "[--quiet] [--strict] [--retries=N] "
                          "[--cell-timeout=SEC] [--checkpoint=F] "
-                         "[--resume]\n");
+                         "[--resume] [--timeseries=DIR] "
+                         "[--timeseries-interval=SEC]\n");
     return 2;
   }
   const std::string spec_path = cli.positional()[1];
@@ -342,23 +387,43 @@ int cmd_campaign(const util::Cli& cli) {
   }
   options.checkpoint = cli.get_or("checkpoint", std::string());
   options.resume = cli.get_or("resume", false);
+  const auto timeseries_dir = cli.get("timeseries");
+  if (timeseries_dir) {
+    options.timeseries_interval = cli.get_or("timeseries-interval", 1000.0);
+    if (options.timeseries_interval <= 0.0) {
+      throw std::invalid_argument("--timeseries-interval must be > 0");
+    }
+  }
   const bool quiet = cli.get_or("quiet", false);
   const bool progress = cli.get_or("progress", false);
   if (progress) {
-    // Rich live counter: throughput plus the cell that just finished.
-    // Works even with --quiet (progress goes to stderr, artifacts stay
-    // clean), so long campaigns in scripts can still show a pulse.
-    options.on_cell = [&spec, start = std::chrono::steady_clock::now()](
+    // Rich live counter: throughput, the cell that just finished, and an
+    // ETA from the completed cells' wall times. All of it is
+    // stderr-sidecar display — wall clock never enters the artifacts.
+    // The effective worker count mirrors the runner's resolution so the
+    // ETA divides by what will actually run.
+    std::size_t eta_threads = options.threads;
+    if (eta_threads == 0) {
+      eta_threads =
+          std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    options.on_cell = [&spec, eta_threads, wall_sum = 0.0, measured = 0ul,
+                       start = std::chrono::steady_clock::now()](
                           const exp::campaign::CellResult& cell,
-                          std::size_t done, std::size_t total) {
+                          std::size_t done, std::size_t total) mutable {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
+      wall_sum += cell.wall_seconds;
+      ++measured;
+      const double per_cell = wall_sum / static_cast<double>(measured);
+      const double eta = per_cell * static_cast<double>(total - done) /
+                         static_cast<double>(std::min(eta_threads, total));
       std::fprintf(stderr,
-                   "\r[%zu/%zu] cells done — %.1f cells/s (last: %s/%s "
-                   "rep %zu in %.2f s)  ",
-                   done, total, elapsed > 0.0 ? done / elapsed : 0.0,
+                   "\r[%zu/%zu] cells done — %.1f cells/s, ~%.0f s left "
+                   "(last: %s/%s rep %zu in %.2f s)  ",
+                   done, total, elapsed > 0.0 ? done / elapsed : 0.0, eta,
                    spec.scenarios[cell.cell.scenario].display().c_str(),
                    spec.policies[cell.cell.policy].display().c_str(),
                    cell.cell.replication, cell.wall_seconds);
@@ -399,6 +464,11 @@ int cmd_campaign(const util::Cli& cli) {
   exp::campaign::emit(result, sinks);
   GS_LOG_INFO("wrote %s", out_json.c_str());
   if (profile_path) GS_LOG_INFO("wrote %s", profile_path->c_str());
+  if (timeseries_dir) {
+    exp::campaign::write_timeseries_dir(result, *timeseries_dir);
+    GS_LOG_INFO("wrote per-cell telemetry series and aggregate.json to %s/",
+                timeseries_dir->c_str());
+  }
   if (!result.complete()) {
     // Degradation is loud but non-fatal: the aggregate covers the
     // surviving replications and says so. Only --strict (which throws

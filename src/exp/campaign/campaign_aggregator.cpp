@@ -3,6 +3,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "obs/timeseries.hpp"
+
 namespace gridsched::exp::campaign {
 
 namespace {
@@ -163,6 +165,92 @@ void CampaignAggregator::add_lost(std::size_t scenario_index,
       ++timed_out_[group];
       break;
   }
+}
+
+std::span<const std::string_view> series_column_keys() {
+  static constexpr std::array<std::string_view, 7> kKeys = {
+      "ready",     "in_flight", "sites_up",     "busy_mean",
+      "completed", "failures",  "interruptions"};
+  return kKeys;
+}
+
+void CampaignAggregator::add_series(std::size_t scenario_index,
+                                    std::size_t policy_index,
+                                    const obs::TimeSeries& series) {
+  const std::size_t group = group_index(scenario_index, policy_index);
+  if (series_stats_.empty()) {
+    series_stats_.resize(stats_.size());
+    series_counts_.resize(stats_.size(), 0);
+    series_interval_ = series.interval;
+  } else if (series.interval != series_interval_) {
+    throw std::invalid_argument(
+        "CampaignAggregator::add_series: sample interval differs between "
+        "cells — the reduction needs one boundary grid campaign-wide");
+  }
+  std::vector<std::vector<util::RunningStats>>& columns =
+      series_stats_[group];
+  columns.resize(series_column_keys().size());
+  ++series_counts_[group];
+  for (std::size_t i = 0; i < series.samples.size(); ++i) {
+    const obs::TimeSeriesSample& sample = series.samples[i];
+    // Only boundary-grid samples reduce; the terminal makespan sample's
+    // time is replication-specific and falls off the common axis.
+    if (sample.t != static_cast<double>(i) * series.interval) break;
+    double busy_sum = 0.0;
+    for (const double fraction : sample.busy) busy_sum += fraction;
+    const double busy_mean =
+        sample.busy.empty()
+            ? 0.0
+            : busy_sum / static_cast<double>(sample.busy.size());
+    const std::array<double, 7> values = {
+        static_cast<double>(sample.ready),
+        static_cast<double>(sample.in_flight),
+        static_cast<double>(sample.sites_up),
+        busy_mean,
+        static_cast<double>(sample.completed),
+        static_cast<double>(sample.failures),
+        static_cast<double>(sample.interruptions)};
+    for (std::size_t c = 0; c < values.size(); ++c) {
+      if (columns[c].size() <= i) columns[c].resize(i + 1);
+      columns[c][i].add(values[c]);
+    }
+  }
+}
+
+std::vector<SeriesGroupSummary> CampaignAggregator::series_groups() const {
+  std::vector<SeriesGroupSummary> groups;
+  if (series_stats_.empty()) return groups;
+  for (std::size_t s = 0; s < spec_.scenarios.size(); ++s) {
+    for (std::size_t p = 0; p < spec_.policies.size(); ++p) {
+      const std::size_t index = s * spec_.policies.size() + p;
+      if (series_counts_[index] == 0) continue;
+      const std::vector<std::vector<util::RunningStats>>& columns =
+          series_stats_[index];
+      SeriesGroupSummary group;
+      group.scenario = spec_.scenarios[s].display();
+      group.policy = spec_.policies[p].display();
+      group.interval = series_interval_;
+      group.replications = series_counts_[index];
+      const std::size_t n_samples =
+          columns.empty() ? 0 : columns.front().size();
+      group.t.reserve(n_samples);
+      for (std::size_t i = 0; i < n_samples; ++i) {
+        group.t.push_back(static_cast<double>(i) * series_interval_);
+      }
+      group.columns.reserve(columns.size());
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        SeriesColumn column;
+        column.key = std::string(series_column_keys()[c]);
+        column.samples.reserve(columns[c].size());
+        for (const util::RunningStats& stats : columns[c]) {
+          column.samples.push_back(util::summarize(stats));
+        }
+        group.columns.push_back(std::move(column));
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+  return groups;
 }
 
 std::vector<GroupSummary> CampaignAggregator::groups() const {

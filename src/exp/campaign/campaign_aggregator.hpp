@@ -14,6 +14,10 @@
 #include "metrics/metrics.hpp"
 #include "util/stats.hpp"
 
+namespace gridsched::obs {
+struct TimeSeries;  // obs/timeseries.hpp
+}  // namespace gridsched::obs
+
 namespace gridsched::exp::campaign {
 
 /// Outcome of one campaign cell. A cell is `ok` only when run_once
@@ -70,6 +74,34 @@ struct GroupSummary {
   [[nodiscard]] bool degraded() const noexcept { return cells < expected; }
 };
 
+/// The reduced timeseries columns, in artifact order. busy_mean is the
+/// per-sample mean busy fraction across the scenario's sites (per-site
+/// curves stay in the per-cell artifacts; the cross-replication reduction
+/// needs a scalar).
+std::span<const std::string_view> series_column_keys();
+
+/// One reduced timeseries column: summaries[k] is the mean / t-CI of the
+/// column at sample boundary k over the replications whose series reach
+/// that boundary (the count shrinks at the tail as shorter runs drop
+/// out — Summary::count says over how many).
+struct SeriesColumn {
+  std::string key;
+  std::vector<util::Summary> samples;
+};
+
+/// Per-group cross-replication timeseries reduction. Only samples on the
+/// boundary grid t_k = k * interval participate; each cell's terminal
+/// makespan sample is a per-cell artifact detail and is excluded (its
+/// time differs per replication, so there is no common axis for it).
+struct SeriesGroupSummary {
+  std::string scenario;  ///< scenario display label
+  std::string policy;    ///< policy display label
+  double interval = 0.0;
+  std::size_t replications = 0;  ///< series fed into the reduction
+  std::vector<double> t;         ///< boundary times, k * interval
+  std::vector<SeriesColumn> columns;  ///< series_column_keys() order
+};
+
 class CampaignAggregator {
  public:
   explicit CampaignAggregator(const CampaignSpec& spec);
@@ -84,8 +116,19 @@ class CampaignAggregator {
   void add_lost(std::size_t scenario_index, std::size_t policy_index,
                 CellStatus status);
 
+  /// Accumulate one surviving cell's telemetry series into the group's
+  /// per-sample reduction. Call in matrix order (like add) for stable
+  /// output; the boundary grid must share one interval campaign-wide
+  /// (throws std::invalid_argument on a mismatch).
+  void add_series(std::size_t scenario_index, std::size_t policy_index,
+                  const obs::TimeSeries& series);
+
   /// Scenario-major, policy-minor group summaries.
   [[nodiscard]] std::vector<GroupSummary> groups() const;
+
+  /// Reduced timeseries for every group that received at least one
+  /// series, scenario-major. Empty when add_series was never called.
+  [[nodiscard]] std::vector<SeriesGroupSummary> series_groups() const;
 
  private:
   /// By value: binding a caller's temporary must not dangle, and the
@@ -100,6 +143,12 @@ class CampaignAggregator {
   std::vector<std::size_t> counts_;
   std::vector<std::size_t> failed_;
   std::vector<std::size_t> timed_out_;
+
+  /// series_stats_[group][column][sample index]; lazily grown to the
+  /// longest series the group has seen.
+  std::vector<std::vector<std::vector<util::RunningStats>>> series_stats_;
+  std::vector<std::size_t> series_counts_;
+  double series_interval_ = 0.0;
 };
 
 }  // namespace gridsched::exp::campaign

@@ -11,6 +11,7 @@
 #include "exp/campaign/campaign_journal.hpp"
 #include "exp/fault_plan.hpp"
 #include "exp/runner.hpp"
+#include "obs/timeseries.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -160,6 +161,15 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
               : util::CancelToken();
       RunHooks hooks;
       hooks.cancel = options_.cell_timeout > 0.0 ? &watchdog : nullptr;
+      // Telemetry probe: observation-only by the kernel observer
+      // contract, so attaching it cannot change out.metrics. The series
+      // is kept only for the attempt that produced the final status.
+      std::unique_ptr<obs::TimeSeriesProbe> probe;
+      if (options_.timeseries_interval > 0.0) {
+        probe = std::make_unique<obs::TimeSeriesProbe>(
+            options_.timeseries_interval);
+        hooks.observer = probe.get();
+      }
       try {
         maybe_inject(spec.faults, spec.seed, scenario_label, policy_label,
                      cells[i].replication, attempt);
@@ -168,6 +178,10 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
                                /*ga_pool=*/nullptr, hooks);
         out.status = CellStatus::kOk;
         out.error.clear();
+        if (probe != nullptr) {
+          out.series =
+              std::make_shared<const obs::TimeSeries>(probe->series());
+        }
         break;
       } catch (const util::CancelledError& e) {
         // The budget is spent; a retry would spend it again on the same
@@ -250,11 +264,16 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) {
     if (cell.status == CellStatus::kOk) {
       aggregator.add(cell.cell.scenario, cell.cell.policy, cell.metrics);
       result.jobs_simulated += cell.metrics.n_jobs;
+      if (cell.series != nullptr) {
+        aggregator.add_series(cell.cell.scenario, cell.cell.policy,
+                              *cell.series);
+      }
     } else {
       aggregator.add_lost(cell.cell.scenario, cell.cell.policy, cell.status);
     }
   }
   result.groups = aggregator.groups();
+  result.series_groups = aggregator.series_groups();
   return result;
 }
 

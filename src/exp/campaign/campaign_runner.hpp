@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,12 +66,22 @@ struct CellResult {
   /// run_once invocations spent on this cell (1 + retries used). Cells
   /// replayed from a journal keep their recorded count.
   unsigned attempts = 1;
+  /// Deterministic sim-time telemetry sampled by a TimeSeriesProbe when
+  /// RunnerOptions::timeseries_interval > 0; null otherwise, for non-ok
+  /// cells, and for cells replayed from a journal (the journal records
+  /// scalar metrics only — a resumed campaign re-runs nothing, so those
+  /// cells ship no series).
+  std::shared_ptr<const obs::TimeSeries> series;
 };
 
 struct CampaignResult {
   CampaignSpec spec;
   std::vector<CellResult> cells;      ///< matrix order
   std::vector<GroupSummary> groups;   ///< scenario-major aggregate
+  /// Per-group cross-replication series reduction (empty unless
+  /// RunnerOptions::timeseries_interval > 0). Reduced in matrix order
+  /// like `groups`, so the series artifact is byte-stable too.
+  std::vector<SeriesGroupSummary> series_groups;
 
   /// Wall-clock throughput (non-deterministic; table output only).
   double wall_seconds = 0.0;
@@ -120,6 +131,11 @@ struct RunnerOptions {
   /// `checkpoint`; throws if the journal belongs to a different
   /// campaign/seed or records a mismatching cell seed.
   bool resume = false;
+  /// Sample cadence (simulated seconds) for a per-cell TimeSeriesProbe;
+  /// 0 disables telemetry (the default — the kernel keeps its
+  /// null-observer fast path). The probe is observation-only: cell
+  /// metrics stay bit-identical with it attached.
+  double timeseries_interval = 0.0;
 };
 
 class CampaignRunner {

@@ -1,11 +1,14 @@
 #include "exp/campaign/campaign_sinks.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
+#include "obs/timeseries.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
@@ -225,6 +228,91 @@ std::string render_profile(const CampaignResult& result) {
   out << "  ]\n";
   out << "}\n";
   return out.str();
+}
+
+std::string timeseries_cell_filename(const CampaignResult& result,
+                                     const CellResult& cell) {
+  const auto sanitize = [](const std::string& label) {
+    std::string out;
+    out.reserve(label.size());
+    for (const char c : label) {
+      const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                        c == '-';
+      out += keep ? c : '-';
+    }
+    return out;
+  };
+  return sanitize(result.spec.scenarios[cell.cell.scenario].display()) +
+         "__" + sanitize(result.spec.policies[cell.cell.policy].display()) +
+         "__rep" + std::to_string(cell.cell.replication) + ".json";
+}
+
+std::string render_series_aggregate_json(const CampaignResult& result) {
+  using util::json::number;
+  using util::json::quote;
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"gridsched-timeseries-aggregate-v1\",\n";
+  out << "  \"campaign\": " << quote(result.spec.name) << ",\n";
+  out << "  \"seed\": " << result.spec.seed << ",\n";
+  out << "  \"groups\": [\n";
+  for (std::size_t g = 0; g < result.series_groups.size(); ++g) {
+    const SeriesGroupSummary& group = result.series_groups[g];
+    out << "    {\n";
+    out << "      \"scenario\": " << quote(group.scenario) << ",\n";
+    out << "      \"policy\": " << quote(group.policy) << ",\n";
+    out << "      \"interval\": " << number(group.interval) << ",\n";
+    out << "      \"replications\": " << group.replications << ",\n";
+    out << "      \"t\": [";
+    for (std::size_t i = 0; i < group.t.size(); ++i) {
+      out << (i ? ", " : "") << number(group.t[i]);
+    }
+    out << "],\n";
+    out << "      \"series\": {";
+    for (std::size_t c = 0; c < group.columns.size(); ++c) {
+      const SeriesColumn& column = group.columns[c];
+      out << (c ? ",\n" : "\n");
+      out << "        " << quote(column.key) << ": {\"mean\": [";
+      for (std::size_t i = 0; i < column.samples.size(); ++i) {
+        out << (i ? ", " : "") << number(column.samples[i].mean);
+      }
+      out << "], \"ci95\": [";
+      for (std::size_t i = 0; i < column.samples.size(); ++i) {
+        out << (i ? ", " : "") << number(column.samples[i].ci95);
+      }
+      out << "], \"count\": [";
+      for (std::size_t i = 0; i < column.samples.size(); ++i) {
+        out << (i ? ", " : "") << column.samples[i].count;
+      }
+      out << "]}";
+    }
+    out << (group.columns.empty() ? "" : "\n      ") << "}\n";
+    out << "    }" << (g + 1 < result.series_groups.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+void write_timeseries_dir(const CampaignResult& result,
+                          const std::string& dir) {
+  std::error_code error;
+  std::filesystem::create_directories(dir, error);
+  if (error) {
+    throw std::runtime_error("cannot create timeseries directory " + dir +
+                             ": " + error.message());
+  }
+  for (const CellResult& cell : result.cells) {
+    if (cell.series == nullptr) continue;
+    obs::write_timeseries_file(
+        dir + "/" + timeseries_cell_filename(result, cell),
+        obs::render_timeseries_json(*cell.series));
+  }
+  write_file(dir + "/aggregate.json",
+             render_series_aggregate_json(result));
 }
 
 void TableSink::consume(const CampaignResult& result) {

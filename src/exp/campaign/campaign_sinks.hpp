@@ -37,6 +37,26 @@ std::string render_json(const CampaignResult& result);
 /// and must never contaminate the byte-stable aggregate (PR 4 contract).
 std::string render_profile(const CampaignResult& result);
 
+/// Label-keyed basename for one cell's timeseries artifact:
+/// "<scenario>__<policy>__rep<k>.json" with display labels sanitized to
+/// [A-Za-z0-9._-]. Labels, never matrix indices — inserting a scenario
+/// does not rename the other cells' artifacts.
+std::string timeseries_cell_filename(const CampaignResult& result,
+                                     const CellResult& cell);
+
+/// Aggregated cross-replication series artifact (trailing newline):
+/// per group, the boundary-time axis plus per-sample mean / stddev /
+/// t-CI / count for each reduced column. Deterministic fields only —
+/// byte-stable at any thread count.
+std::string render_series_aggregate_json(const CampaignResult& result);
+
+/// Write one JSON file per cell that carries a series (see
+/// timeseries_cell_filename) plus "aggregate.json" into `dir`, creating
+/// the directory if needed. Cells replayed from a journal carry no
+/// series and are skipped. Throws std::runtime_error on I/O failure.
+void write_timeseries_dir(const CampaignResult& result,
+                          const std::string& dir);
+
 class Sink {
  public:
   virtual ~Sink() = default;

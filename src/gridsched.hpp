@@ -24,6 +24,7 @@
 #include "obs/kernel_metrics.hpp"   // IWYU pragma: export
 #include "obs/metric_registry.hpp"  // IWYU pragma: export
 #include "obs/proc_stats.hpp"       // IWYU pragma: export
+#include "obs/timeseries.hpp"       // IWYU pragma: export
 #include "obs/trace_event.hpp"      // IWYU pragma: export
 #include "sched/etc_matrix.hpp"     // IWYU pragma: export
 #include "sched/heuristics.hpp"     // IWYU pragma: export

@@ -1,0 +1,166 @@
+#include "obs/timeseries.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/kernel.hpp"
+#include "util/json.hpp"
+
+namespace gridsched::obs {
+
+namespace {
+
+using util::json::number;
+
+void append_cell(std::string& out, const std::string& cell) {
+  out += ',';
+  out += cell;
+}
+
+std::string scalar_cells(const TimeSeriesSample& sample) {
+  std::string out = number(sample.t);
+  append_cell(out, std::to_string(sample.ready));
+  append_cell(out, std::to_string(sample.in_flight));
+  append_cell(out, std::to_string(sample.sites_up));
+  append_cell(out, std::to_string(sample.completed));
+  append_cell(out, std::to_string(sample.failures));
+  append_cell(out, std::to_string(sample.interruptions));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> timeseries_columns(std::size_t n_sites) {
+  std::vector<std::string> columns = {"t",         "ready",
+                                      "in_flight", "sites_up",
+                                      "completed", "failures",
+                                      "interruptions"};
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    columns.push_back("busy_" + std::to_string(s));
+  }
+  return columns;
+}
+
+TimeSeriesProbe::TimeSeriesProbe(sim::Time interval) : interval_(interval) {
+  if (!std::isfinite(interval) || interval <= 0.0) {
+    throw std::invalid_argument(
+        "TimeSeriesProbe: sample interval must be finite and > 0");
+  }
+}
+
+void TimeSeriesProbe::on_run_start(const sim::SimKernel& kernel) {
+  series_ = TimeSeries{};
+  series_.interval = interval_;
+  series_.n_sites = kernel.sites().size();
+  next_index_ = 0;
+}
+
+void TimeSeriesProbe::sample_at(const sim::SimKernel& kernel, sim::Time t) {
+  TimeSeriesSample sample;
+  sample.t = t;
+  sample.ready = kernel.pending().size();
+  sample.completed = kernel.counters().completed_jobs;
+  sample.failures = kernel.counters().failure_events;
+  sample.interruptions = kernel.counters().interrupted_attempts;
+  for (std::size_t s = 0; s < kernel.sites().size(); ++s) {
+    if (kernel.site_usable(s)) ++sample.sites_up;
+  }
+  // Busy fraction from the attempt table: an active attempt claims its
+  // job's nodes on its site once the reservation window has started
+  // (reservations are disjoint per node, so the sum never exceeds the
+  // site's capacity).
+  std::vector<double> busy_nodes(kernel.sites().size(), 0.0);
+  const std::vector<sim::Attempt>& attempts = kernel.attempts();
+  for (std::size_t j = 0; j < attempts.size(); ++j) {
+    const sim::Attempt& attempt = attempts[j];
+    if (!attempt.active) continue;
+    ++sample.in_flight;
+    if (attempt.window.start > t) continue;  // reserved, not yet started
+    busy_nodes[attempt.site] +=
+        static_cast<double>(kernel.jobs()[j].nodes);
+  }
+  sample.busy.resize(kernel.sites().size(), 0.0);
+  for (std::size_t s = 0; s < kernel.sites().size(); ++s) {
+    const unsigned nodes = kernel.sites()[s].config().nodes;
+    if (nodes > 0) sample.busy[s] = busy_nodes[s] / nodes;
+  }
+  series_.samples.push_back(std::move(sample));
+}
+
+void TimeSeriesProbe::on_event(const sim::SimKernel& kernel,
+                               const sim::Event& event) {
+  // on_event fires after the clock advanced to event.time but before the
+  // event is routed, so every boundary at or before event.time sees the
+  // state with all strictly-earlier events applied.
+  while (static_cast<double>(next_index_) * interval_ <= event.time) {
+    sample_at(kernel, static_cast<double>(next_index_) * interval_);
+    ++next_index_;
+  }
+}
+
+void TimeSeriesProbe::on_run_end(const sim::SimKernel& kernel) {
+  // Terminal sample: the final state at the makespan (all boundaries up
+  // to the last event were already flushed from on_event).
+  sample_at(kernel, kernel.makespan());
+}
+
+std::string render_timeseries_json(const TimeSeries& series) {
+  std::string out = "{\"schema\": \"gridsched-timeseries-v1\"";
+  out += ", \"interval\": " + number(series.interval);
+  out += ", \"sites\": " + std::to_string(series.n_sites);
+  out += ", \"columns\": [";
+  const std::vector<std::string> columns =
+      timeseries_columns(series.n_sites);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += ", ";
+    out += util::json::quote(columns[c]);
+  }
+  out += "], \"samples\": [";
+  for (std::size_t i = 0; i < series.samples.size(); ++i) {
+    const TimeSeriesSample& sample = series.samples[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  [" + scalar_cells(sample);
+    for (const double fraction : sample.busy) {
+      append_cell(out, number(fraction));
+    }
+    out += "]";
+  }
+  out += series.samples.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+std::string render_timeseries_csv(const TimeSeries& series) {
+  std::string out;
+  const std::vector<std::string> columns =
+      timeseries_columns(series.n_sites);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) out += ",";
+    out += columns[c];
+  }
+  out += "\n";
+  for (const TimeSeriesSample& sample : series.samples) {
+    out += scalar_cells(sample);
+    for (const double fraction : sample.busy) {
+      append_cell(out, number(fraction));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void write_timeseries_file(const std::string& path,
+                           const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw std::runtime_error("timeseries: cannot write " + path);
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  std::fclose(file);
+  if (written != content.size()) {
+    throw std::runtime_error("timeseries: short write to " + path);
+  }
+}
+
+}  // namespace gridsched::obs

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/timeseries.hpp"
 #include "sim/kernel.hpp"
 #include "util/json.hpp"
 
@@ -176,6 +177,32 @@ void SimTraceRecorder::on_run_end(const sim::SimKernel& kernel) {
                 down_since_[s], kernel.makespan(), sim::kInvalidJob, 0);
       down_since_[s] = -1.0;
     }
+  }
+}
+
+void SimTraceRecorder::merge_counters(const TimeSeries& series) {
+  // Trace-event consumers do not require ts order, so counters are
+  // appended after the spans; the emission order (and therefore the
+  // rendered bytes) depends only on the series.
+  const auto counter = [&](const char* name, const sim::Time time,
+                           const std::string& args) {
+    std::string out = "{\"ph\": \"C\", \"name\": " + quote(name);
+    out += ", \"pid\": " + std::to_string(kSchedulerPid);
+    out += ", \"ts\": " + ts(time);
+    out += ", \"args\": {" + args + "}}";
+    events_.push_back(std::move(out));
+  };
+  for (const TimeSeriesSample& sample : series.samples) {
+    counter("kernel load", sample.t,
+            "\"ready\": " + std::to_string(sample.ready) +
+                ", \"in_flight\": " + std::to_string(sample.in_flight));
+    counter("sites up", sample.t,
+            "\"up\": " + std::to_string(sample.sites_up));
+    counter("outcomes", sample.t,
+            "\"completed\": " + std::to_string(sample.completed) +
+                ", \"failures\": " + std::to_string(sample.failures) +
+                ", \"interruptions\": " +
+                std::to_string(sample.interruptions));
   }
 }
 

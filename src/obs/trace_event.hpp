@@ -22,6 +22,8 @@
 
 namespace gridsched::obs {
 
+struct TimeSeries;  // obs/timeseries.hpp
+
 /// Records one SimKernel run (re-attaching resets on on_run_start).
 class SimTraceRecorder final : public sim::KernelObserver {
  public:
@@ -45,6 +47,13 @@ class SimTraceRecorder final : public sim::KernelObserver {
 
   /// Number of trace events recorded so far.
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Append Chrome "C" counter events from a TimeSeriesProbe's series so
+  /// Perfetto draws load curves ("kernel load", "sites up", "outcomes")
+  /// under the span tracks. The series carries simulated time only, so
+  /// the merged trace stays byte-deterministic. Call once, after the run
+  /// and before render()/write_file().
+  void merge_counters(const TimeSeries& series);
 
   /// The complete trace document:
   /// {"displayTimeUnit": "ms", "traceEvents": [...]}.

@@ -3,15 +3,18 @@
 #include "exp/campaign/campaign_sinks.hpp"
 #include "exp/campaign/campaign_spec.hpp"
 #include "exp/scenario.hpp"
+#include "obs/timeseries.hpp"
 #include "workload/synth/synth.hpp"
 
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace gridsched::exp::campaign {
@@ -408,6 +411,116 @@ TEST(CampaignSinks, FileSinksWriteAndEmitFansOut) {
   std::string line;
   ASSERT_TRUE(std::getline(csv, line));
   EXPECT_EQ(line, "scenario,policy,metric,count,mean,stddev,ci95");
+}
+
+// ------------------------------------------------------------- timeseries ---
+
+TEST(CampaignRunner, PerCellTimeseriesByteIdenticalAcrossThreadCounts) {
+  // With telemetry sampling enabled, every cell carries a series and both
+  // the per-cell artifacts and the cross-replication aggregate must be a
+  // pure function of the spec — whatever the thread count.
+  const CampaignSpec spec = mini_spec();
+  std::map<std::string, std::string> baseline_cells;
+  std::string baseline_aggregate;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    RunnerOptions options;
+    options.threads = threads;
+    options.timeseries_interval = 1000.0;
+    const CampaignResult result = CampaignRunner(options).run(spec);
+    std::map<std::string, std::string> cells;
+    for (const CellResult& cell : result.cells) {
+      ASSERT_NE(cell.series, nullptr);
+      cells[timeseries_cell_filename(result, cell)] =
+          obs::render_timeseries_json(*cell.series);
+    }
+    const std::string aggregate = render_series_aggregate_json(result);
+    if (baseline_cells.empty()) {
+      baseline_cells = std::move(cells);
+      baseline_aggregate = aggregate;
+    } else {
+      EXPECT_EQ(cells, baseline_cells) << "threads=" << threads;
+      EXPECT_EQ(aggregate, baseline_aggregate) << "threads=" << threads;
+    }
+  }
+  ASSERT_EQ(baseline_cells.size(), 8u);  // 2 scenarios x 2 policies x 2 reps
+  EXPECT_EQ(baseline_cells.count("psa__min-min-f-risky__rep0.json"), 1u);
+  EXPECT_EQ(baseline_cells.count("synth-batch__sufferage-risky__rep1.json"),
+            1u);
+}
+
+TEST(CampaignRunner, SeriesGroupsReduceAcrossReplications) {
+  RunnerOptions options;
+  options.threads = 1;
+  options.timeseries_interval = 1000.0;
+  const CampaignResult result = CampaignRunner(options).run(mini_spec());
+  // One group per (scenario, policy), scenario-major like the metric
+  // groups; every group reduces over both replications at t=0 and carries
+  // the full column set.
+  ASSERT_EQ(result.series_groups.size(), 4u);
+  EXPECT_EQ(result.series_groups[0].scenario, "psa");
+  EXPECT_EQ(result.series_groups[0].policy, "min-min-f-risky");
+  EXPECT_EQ(result.series_groups[1].policy, "sufferage-risky");
+  EXPECT_EQ(result.series_groups[2].scenario, "synth-batch");
+  for (const SeriesGroupSummary& group : result.series_groups) {
+    EXPECT_EQ(group.interval, 1000.0);
+    EXPECT_EQ(group.replications, 2u);
+    ASSERT_EQ(group.columns.size(), series_column_keys().size());
+    ASSERT_FALSE(group.t.empty());
+    for (std::size_t i = 0; i < group.t.size(); ++i) {
+      EXPECT_EQ(group.t[i], static_cast<double>(i) * 1000.0);
+    }
+    for (const SeriesColumn& column : group.columns) {
+      ASSERT_EQ(column.samples.size(), group.t.size());
+      // Counts start at the replication count and only shrink toward the
+      // tail (shorter replications stop contributing; terminal makespan
+      // samples never enter the reduction).
+      EXPECT_EQ(column.samples.front().count, 2u);
+      for (std::size_t i = 1; i < column.samples.size(); ++i) {
+        EXPECT_LE(column.samples[i].count, column.samples[i - 1].count);
+      }
+    }
+  }
+}
+
+TEST(CampaignSinks, TimeseriesDirWritesCellsAndAggregate) {
+  RunnerOptions options;
+  options.threads = 2;
+  options.timeseries_interval = 1000.0;
+  const CampaignResult result = CampaignRunner(options).run(mini_spec());
+  const std::string dir = testing::TempDir() + "campaign_timeseries";
+  write_timeseries_dir(result, dir);
+
+  const util::json::Value aggregate =
+      util::json::parse_file(dir + "/aggregate.json");
+  EXPECT_EQ(aggregate.at("schema").as_string(),
+            "gridsched-timeseries-aggregate-v1");
+  EXPECT_EQ(aggregate.at("campaign").as_string(), "mini");
+  ASSERT_EQ(aggregate.at("groups").items().size(), 4u);
+  const util::json::Value& group = aggregate.at("groups").items().front();
+  const std::size_t n = group.at("t").items().size();
+  for (const std::string_view key : series_column_keys()) {
+    const util::json::Value& column = group.at("series").at(key);
+    EXPECT_EQ(column.at("mean").items().size(), n);
+    EXPECT_EQ(column.at("ci95").items().size(), n);
+    EXPECT_EQ(column.at("count").items().size(), n);
+  }
+  for (const CellResult& cell : result.cells) {
+    const util::json::Value parsed = util::json::parse_file(
+        dir + "/" + timeseries_cell_filename(result, cell));
+    EXPECT_EQ(parsed.at("schema").as_string(), "gridsched-timeseries-v1");
+    EXPECT_EQ(parsed.at("interval").as_number(), 1000.0);
+  }
+}
+
+TEST(CampaignAggregator, SeriesIntervalMismatchThrows) {
+  const CampaignSpec spec = mini_spec();
+  CampaignAggregator aggregator(spec);
+  obs::TimeSeries series;
+  series.interval = 100.0;
+  series.n_sites = 1;
+  aggregator.add_series(0, 0, series);
+  series.interval = 200.0;
+  EXPECT_THROW(aggregator.add_series(0, 0, series), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- aggregator ---

@@ -165,6 +165,17 @@ TEST(LintR02, ClockInArtifactRendererFires) {
                   1));
 }
 
+TEST(LintR02, TimeseriesAndBenchgateAreInScope) {
+  // The telemetry exporters and the bench regression gate are byte-stable
+  // surfaces too: both joined the GS-R02 path scope with this subsystem.
+  EXPECT_TRUE(has(lint_one("src/obs/timeseries.cpp",
+                           "auto t = std::chrono::system_clock::now();\n"),
+                  "GS-R02", "src/obs/timeseries.cpp", 1));
+  EXPECT_TRUE(has(lint_one("tools/benchgate/main.cpp",
+                           "double wall = clock();\n"),
+                  "GS-R02", "tools/benchgate/main.cpp", 1));
+}
+
 TEST(LintR02, ClockOutsideScopeAndSuppressedPass) {
   EXPECT_EQ(count_rule(lint_one("src/exp/runner.cpp",
                                 "auto t = steady_clock::now();\n"),
@@ -255,6 +266,19 @@ TEST(LintR05, RandAndRandomDeviceFire) {
                               "int a = rand();\n"
                               "std::random_device rd;\n");
   EXPECT_EQ(count_rule(diags, "GS-R05"), 2u);
+}
+
+TEST(LintR05, BenchgateIsInScopeOtherToolsAreNot) {
+  // A regression gate that consulted the clock could flip verdicts on
+  // rerun, so tools/benchgate/ is scanned like simulation code; the other
+  // tools (the linter itself) stay out of scope.
+  EXPECT_TRUE(has(lint_one("tools/benchgate/main.cpp",
+                           "auto t = std::chrono::steady_clock::now();\n"),
+                  "GS-R05", "tools/benchgate/main.cpp", 1));
+  EXPECT_EQ(count_rule(lint_one("tools/lint/main.cpp",
+                                "auto t = steady_clock::now();\n"),
+                       "GS-R05"),
+            0u);
 }
 
 TEST(LintR05, AllowlistMemberNowAndSuppressionPass) {

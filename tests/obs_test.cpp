@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <numeric>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "obs/kernel_metrics.hpp"
 #include "obs/metric_registry.hpp"
 #include "obs/proc_stats.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/observer.hpp"
 #include "sim/process/arrival_process.hpp"
@@ -290,6 +293,103 @@ TEST(SimTraceRecorder, ChurnTimelineSpans) {
   // ts is microseconds of simulated time (shortest-exact form): the
   // second attempt starts at 150 s = 1.5e8 us.
   EXPECT_NE(rendered.find("\"ts\": 1.5e+08"), std::string::npos);
+}
+
+// ------------------------------------------------------------ timeseries ---
+
+TEST(TimeSeriesProbe, RejectsNonPositiveInterval) {
+  EXPECT_THROW(obs::TimeSeriesProbe(0.0), std::invalid_argument);
+  EXPECT_THROW(obs::TimeSeriesProbe(-5.0), std::invalid_argument);
+  EXPECT_THROW(obs::TimeSeriesProbe(
+                   std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(obs::TimeSeriesProbe(0.25));
+}
+
+TEST(TimeSeriesProbe, ChurnTimelineSamplesAreHandCheckable) {
+  // The hand-checked churn timeline (job [50,150) interrupted by the
+  // [100,120) outage, re-run [150,250)) sampled every 60 s. Each boundary
+  // reflects the state after all events strictly before it: at t=120 the
+  // site-up event (at exactly 120) has not been applied yet, so the site
+  // still reads down; the 250 row is the terminal makespan sample.
+  SimKernel kernel({{0, 1, 1.0, 1.0}}, {make_job(0.0, 100.0, 1, 0.5)},
+                   quick_config(50.0));
+  PinScheduler scheduler;
+  obs::TimeSeriesProbe probe(60.0);
+  kernel.set_observer(&probe);
+  run_churn_timeline(kernel, scheduler);
+
+  EXPECT_EQ(render_timeseries_csv(probe.series()),
+            "t,ready,in_flight,sites_up,completed,failures,interruptions,"
+            "busy_0\n"
+            "0,0,0,1,0,0,0,0\n"
+            "6e+01,0,1,1,0,0,0,1\n"
+            "1.2e+02,1,0,0,0,0,1,0\n"
+            "1.8e+02,0,1,1,0,0,1,1\n"
+            "2.4e+02,0,1,1,0,0,1,1\n"
+            "2.5e+02,0,0,1,1,0,1,0\n");
+}
+
+TEST(TimeSeriesProbe, AttachedProbeLeavesRunBitIdentical) {
+  const exp::Scenario scenario = exp::psa_scenario(40);
+  const exp::AlgorithmSpec spec =
+      exp::heuristic_spec("min-min", security::RiskPolicy::f_risky(0.5));
+  const metrics::RunMetrics plain = exp::run_once(scenario, spec, 7);
+
+  obs::TimeSeriesProbe probe(500.0);
+  exp::RunHooks hooks;
+  hooks.observer = &probe;
+  const metrics::RunMetrics observed =
+      exp::run_once(scenario, spec, 7, nullptr, hooks);
+
+  EXPECT_EQ(plain.n_jobs, observed.n_jobs);
+  EXPECT_EQ(plain.makespan, observed.makespan);
+  EXPECT_EQ(plain.avg_response, observed.avg_response);
+  EXPECT_EQ(plain.slowdown_ratio, observed.slowdown_ratio);
+  EXPECT_EQ(plain.n_risk, observed.n_risk);
+  EXPECT_EQ(plain.n_fail, observed.n_fail);
+  EXPECT_EQ(plain.interruptions, observed.interruptions);
+
+  const obs::TimeSeries& series = probe.series();
+  ASSERT_FALSE(series.samples.empty());
+  EXPECT_EQ(series.samples.front().t, 0.0);
+  // Terminal sample: full state at the makespan.
+  EXPECT_EQ(series.samples.back().t, plain.makespan);
+  EXPECT_EQ(series.samples.back().completed, plain.n_jobs);
+  EXPECT_EQ(series.samples.back().in_flight, 0u);
+}
+
+TEST(TimeSeriesProbe, RendersAndCounterMergeAreByteDeterministic) {
+  const exp::Scenario scenario = exp::psa_scenario(40);
+  const exp::AlgorithmSpec spec =
+      exp::heuristic_spec("min-min", security::RiskPolicy::f_risky(0.5));
+  const auto record = [&] {
+    obs::TimeSeriesProbe probe(500.0);
+    obs::SimTraceRecorder trace;
+    sim::KernelObserverTee tee;
+    tee.add(&probe);
+    tee.add(&trace);
+    exp::RunHooks hooks;
+    hooks.observer = &tee;
+    exp::run_once(scenario, spec, 7, nullptr, hooks);
+    trace.merge_counters(probe.series());
+    return std::make_pair(render_timeseries_json(probe.series()),
+                          trace.render());
+  };
+  const auto [first_series, first_trace] = record();
+  const auto [second_series, second_trace] = record();
+  EXPECT_EQ(first_series, second_series);
+  EXPECT_EQ(first_trace, second_trace);
+
+  EXPECT_NE(first_series.find("\"schema\": \"gridsched-timeseries-v1\""),
+            std::string::npos);
+  // The merged counter tracks render as Chrome "C" events with the three
+  // telemetry groups; wall clock never leaks in.
+  EXPECT_NE(first_trace.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(first_trace.find("\"name\": \"kernel load\""), std::string::npos);
+  EXPECT_NE(first_trace.find("\"name\": \"sites up\""), std::string::npos);
+  EXPECT_NE(first_trace.find("\"name\": \"outcomes\""), std::string::npos);
+  EXPECT_EQ(first_trace.find("wall"), std::string::npos);
 }
 
 // ----------------------------------------------------------- GA profile ---

@@ -248,7 +248,9 @@ void rule_r02(const std::vector<LintFile>& files,
     const std::string_view path = f.src->path;
     if (!path_contains(path, "campaign_sinks") &&
         !path_contains(path, "campaign_journal") &&
-        !path_contains(path, "trace_event")) {
+        !path_contains(path, "trace_event") &&
+        !path_contains(path, "timeseries") &&
+        !path_contains(path, "benchgate")) {
       continue;
     }
     const auto& tokens = toks(f);
@@ -354,12 +356,17 @@ void rule_r04(const std::vector<LintFile>& files,
 
 /// GS-R05 — no ambient nondeterminism in simulation/experiment code:
 /// rand/srand/random_device and chrono ::now() live only in obs/ probes
-/// and the cancellation deadline (or behind a justified NOLINT).
+/// and the cancellation deadline (or behind a justified NOLINT). The
+/// benchgate tool is held to the same bar — a regression gate that
+/// consulted the clock could pass or fail the same artifacts on rerun.
 void rule_r05(const std::vector<LintFile>& files,
               std::vector<Diagnostic>& out) {
   for (const LintFile& f : files) {
     const std::string_view path = f.src->path;
-    if (!starts_with(path, "src/")) continue;
+    if (!starts_with(path, "src/") &&
+        !starts_with(path, "tools/benchgate/")) {
+      continue;
+    }
     if (starts_with(path, "src/obs/") || path == "src/util/cancel.hpp") {
       continue;
     }
