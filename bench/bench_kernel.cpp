@@ -1,13 +1,14 @@
-// Kernel throughput bench: drives the event kernel end to end (min-min
-// heuristic, f-risky policy — the cheapest scheduler, so the kernel
-// itself dominates) over the largest registry scenarios and reports
-// events/sec, dispatches/sec and peak RSS. The event/dispatch/outcome
+// Kernel throughput bench: drives the event kernel end to end (cheap
+// heuristics under the f-risky policy, so the kernel itself dominates)
+// over the largest registry scenarios — including the synth-stream-{med,
+// hi} streaming scenarios at 1e5/1e6 jobs — and reports events/sec,
+// dispatches/sec and per-row RSS growth. The event/dispatch/outcome
 // counts come from a passive observer and are pure functions of
 // (scenario, jobs, seed) — bit-equal across machines — so the committed
 // BENCH_kernel.json doubles as a determinism baseline: tools/benchgate
-// hard-fails when the counts drift and only warns on throughput (which
-// is hardware-dependent). This is the baseline the ROADMAP's
-// "million-job streaming scale" item will be measured against.
+// hard-fails when the counts drift, warns on throughput (hardware-
+// dependent), and applies the O(active)-memory advisory to the streaming
+// rows (rss_delta_bytes / n_jobs must stay tiny).
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -56,6 +57,13 @@ struct KernelRow {
   double wall_ms = 0.0;
   double events_per_sec = 0.0;
   double dispatches_per_sec = 0.0;
+  /// Resident-set growth across this row's run (current_rss_bytes delta;
+  /// 0 when the allocator served the run from already-mapped pages). On
+  /// streaming rows benchgate divides this by n_jobs — the O(active)
+  /// memory advisory.
+  std::uint64_t rss_delta_bytes = 0;
+  /// Process-wide peak RSS after this row (monotone across rows).
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 }  // namespace
@@ -67,41 +75,52 @@ int main(int argc, char** argv) {
       cli.get_or("out", std::string("BENCH_kernel.json"));
 
   bench::print_banner(
-      "Kernel event throughput (min-min f-risky over the largest registry "
-      "scenarios)",
+      "Kernel event throughput (cheap heuristics, f-risky, largest registry "
+      "scenarios + synth-stream-{med,hi})",
       "the event kernel sustains O(100k) events/sec under churn and "
-      "failures; event counts are bit-deterministic in (scenario, seed)");
+      "failures, streams a million jobs in O(active) memory, and its event "
+      "counts are bit-deterministic in (scenario, seed)");
 
   // The registry's biggest shapes, sized so the full (non --quick) run
   // finishes in CI minutes: the NAS batch testbed, the PSA stream, the
-  // hardest synthetic heterogeneity class, and the high-churn scenario
-  // (site outages + revocations stress the revocation path).
+  // hardest synthetic heterogeneity class, the high-churn scenario (site
+  // outages + revocations stress the revocation path), and the streaming
+  // scenarios (1e5/1e6 jobs through the O(active) job-stream kernel).
+  // The streaming rows run MCT instead of min-min: their batches hold
+  // thousands of jobs, and the O(batch^2) min-min inner loop would time
+  // the scheduler, not the kernel.
   struct Shape {
     const char* name;
     std::size_t jobs;
     std::size_t quick_jobs;
+    const char* algo;
   };
-  const std::vector<Shape> shapes = {{"nas", 4000, 1000},
-                                     {"psa", 1000, 300},
-                                     {"synth-inconsistent-hihi", 2000, 500},
-                                     {"synth-churn-hi", 1000, 300}};
-  const exp::AlgorithmSpec spec =
-      exp::heuristic_spec("min-min", security::RiskPolicy::f_risky(args.f));
+  const std::vector<Shape> shapes = {
+      {"nas", 4000, 1000, "min-min"},
+      {"psa", 1000, 300, "min-min"},
+      {"synth-inconsistent-hihi", 2000, 500, "min-min"},
+      {"synth-churn-hi", 1000, 300, "min-min"},
+      {"synth-stream-med", 100000, 20000, "mct"},
+      {"synth-stream-hi", 1000000, 100000, "mct"}};
 
   std::vector<KernelRow> rows;
   util::Table table({"scenario", "jobs", "events", "dispatches", "cycles",
-                     "makespan (s)", "wall (ms)", "events/s"});
+                     "makespan (s)", "wall (ms)", "events/s", "rss d (MiB)"});
   for (const Shape& shape : shapes) {
     const std::size_t jobs = args.quick ? shape.quick_jobs : shape.jobs;
     const exp::Scenario scenario = exp::make_scenario(shape.name, jobs);
+    const exp::AlgorithmSpec spec = exp::heuristic_spec(
+        shape.algo, security::RiskPolicy::f_risky(args.f));
     ThroughputObserver observer;
     exp::RunHooks hooks;
     hooks.observer = &observer;
+    const std::uint64_t rss_before = obs::current_rss_bytes();
     const auto start = Clock::now();
     const metrics::RunMetrics run =
         exp::run_once(scenario, spec, args.seed, /*ga_pool=*/nullptr, hooks);
     const double wall_seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
+    const std::uint64_t rss_after = obs::current_rss_bytes();
 
     KernelRow row;
     row.scenario = shape.name;
@@ -119,6 +138,8 @@ int main(int argc, char** argv) {
       row.dispatches_per_sec =
           static_cast<double>(observer.dispatches) / wall_seconds;
     }
+    row.rss_delta_bytes = rss_after > rss_before ? rss_after - rss_before : 0;
+    row.peak_rss_bytes = obs::peak_rss_bytes();
     rows.push_back(row);
     table.row()
         .cell(row.scenario)
@@ -128,7 +149,8 @@ int main(int argc, char** argv) {
         .cell(row.cycles)
         .cell(row.makespan, 0)
         .cell(row.wall_ms, 1)
-        .cell(row.events_per_sec, 0);
+        .cell(row.events_per_sec, 0)
+        .cell(static_cast<double>(row.rss_delta_bytes) / (1024.0 * 1024.0), 1);
     std::fflush(stdout);
   }
   std::printf("%s", table.str().c_str());
@@ -150,6 +172,9 @@ int main(int argc, char** argv) {
                                 .num("events_per_sec", row.events_per_sec, 1)
                                 .num("dispatches_per_sec",
                                      row.dispatches_per_sec, 1)
+                                .integer("rss_delta_bytes",
+                                         row.rss_delta_bytes)
+                                .integer("peak_rss_bytes", row.peak_rss_bytes)
                                 .str());
   }
   const bench::JsonObject document =

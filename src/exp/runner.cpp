@@ -49,10 +49,68 @@ void train_stga(const Scenario& scenario, const workload::Workload& main,
 
 }  // namespace
 
+namespace {
+
+/// run_once for a streaming (kSynthStream) scenario: the job cursor goes
+/// straight into the kernel's stream constructor, so the run holds
+/// O(active jobs) — never the whole workload. Seed derivation matches the
+/// materialised path exactly, so draining the same scenario through
+/// make_workload reproduces the jobs this run simulates.
+metrics::RunMetrics run_once_stream(const Scenario& scenario,
+                                    const AlgorithmSpec& spec,
+                                    std::uint64_t seed,
+                                    util::ThreadPool* ga_pool,
+                                    const RunHooks& hooks) {
+  const std::uint64_t workload_seed = util::Rng::child(seed, 1).next_u64();
+  const std::uint64_t engine_seed = util::Rng::child(seed, 2).next_u64();
+  const std::uint64_t algo_seed = util::Rng::child(seed, 3).next_u64();
+
+  workload::synth::StreamWorkload stream =
+      make_stream_workload(scenario, workload_seed);
+  std::unique_ptr<sim::BatchScheduler> scheduler = spec.make(ga_pool,
+                                                             algo_seed);
+  if (hooks.cancel != nullptr) {
+    if (auto* ga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {
+      ga->set_cancel_token(hooks.cancel);
+    }
+  }
+  if (spec.wants_training) {
+    if (auto* stga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {
+      // Training drains a small reduced copy of the stream (hundreds of
+      // jobs), so the bootstrap stays O(training) while the measured run
+      // streams. Only the grid is borrowed from the main workload.
+      workload::Workload grid_only;
+      grid_only.name = stream.name;
+      grid_only.sites = stream.sites;
+      train_stga(scenario, grid_only, *stga, seed, hooks.cancel);
+    }
+  }
+  if (hooks.ga_profiles != nullptr) {
+    if (auto* ga = dynamic_cast<core::GaScheduler*>(scheduler.get())) {
+      ga->set_profile_sink(hooks.ga_profiles);
+    }
+  }
+
+  sim::EngineConfig engine_config = scenario.engine;
+  engine_config.seed = engine_seed;
+  engine_config.cancel = hooks.cancel;
+  sim::Engine engine(std::move(stream.sites), std::move(stream.jobs),
+                     engine_config, std::move(stream.exec),
+                     std::move(stream.churn));
+  engine.set_observer(hooks.observer);
+  engine.run(*scheduler);
+  return metrics::compute_metrics(engine);
+}
+
+}  // namespace
+
 metrics::RunMetrics run_once(const Scenario& scenario,
                              const AlgorithmSpec& spec,
                              std::uint64_t seed, util::ThreadPool* ga_pool,
                              const RunHooks& hooks) {
+  if (scenario.kind == ScenarioKind::kSynthStream) {
+    return run_once_stream(scenario, spec, seed, ga_pool, hooks);
+  }
   const std::uint64_t workload_seed = util::Rng::child(seed, 1).next_u64();
   const std::uint64_t engine_seed = util::Rng::child(seed, 2).next_u64();
   const std::uint64_t algo_seed = util::Rng::child(seed, 3).next_u64();

@@ -44,6 +44,14 @@ Scenario synth_scenario(workload::synth::SynthConfig config) {
   return scenario;
 }
 
+Scenario synth_stream_scenario(workload::synth::SynthStreamConfig config) {
+  Scenario scenario;
+  scenario.kind = ScenarioKind::kSynthStream;
+  scenario.stream = std::move(config);
+  scenario.engine.batch_interval = 2000.0;
+  return scenario;
+}
+
 workload::Workload make_workload(const Scenario& scenario, std::uint64_t seed) {
   switch (scenario.kind) {
     case ScenarioKind::kNas:
@@ -52,8 +60,24 @@ workload::Workload make_workload(const Scenario& scenario, std::uint64_t seed) {
       return workload::psa_workload(scenario.psa, seed);
     case ScenarioKind::kSynth:
       return workload::synth::synth_workload(scenario.synth, seed);
+    case ScenarioKind::kSynthStream:
+      // Draining the cursor gives byte-identical jobs to the streamed run
+      // (same generator, same draws) at O(n_jobs) memory — fine for trace
+      // export and tests, wrong for million-job simulation (use
+      // make_stream_workload there).
+      return workload::synth::materialize_stream(
+          workload::synth::stream_workload(scenario.stream, seed));
   }
   throw std::invalid_argument("make_workload: unknown scenario kind");
+}
+
+workload::synth::StreamWorkload make_stream_workload(const Scenario& scenario,
+                                                     std::uint64_t seed) {
+  if (scenario.kind != ScenarioKind::kSynthStream) {
+    throw std::invalid_argument(
+        "make_stream_workload: scenario is not a streaming kind");
+  }
+  return workload::synth::stream_workload(scenario.stream, seed);
 }
 
 workload::Workload make_training_workload(const Scenario& scenario,
@@ -69,6 +93,8 @@ workload::Workload make_training_workload(const Scenario& scenario,
         std::max(training.nas.horizon * fraction, 10.0 * 4000.0);
   } else if (training.kind == ScenarioKind::kSynth) {
     training.synth.n_jobs = n_jobs;
+  } else if (training.kind == ScenarioKind::kSynthStream) {
+    training.stream.n_jobs = n_jobs;  // drained by make_workload below
   } else {
     training.psa.n_jobs = n_jobs;
   }

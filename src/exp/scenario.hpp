@@ -7,18 +7,23 @@
 #include "sim/engine.hpp"
 #include "workload/nas.hpp"
 #include "workload/psa.hpp"
+#include "workload/synth/stream_gen.hpp"
 #include "workload/synth/synth.hpp"
 #include "workload/workload.hpp"
 
 namespace gridsched::exp {
 
-enum class ScenarioKind { kNas, kPsa, kSynth };
+enum class ScenarioKind { kNas, kPsa, kSynth, kSynthStream };
 
 struct Scenario {
   ScenarioKind kind = ScenarioKind::kPsa;
   workload::NasTraceConfig nas;
   workload::PsaConfig psa;
   workload::synth::SynthConfig synth;
+  /// Streaming generator config (kSynthStream only): the runner feeds the
+  /// kernel a job cursor instead of a materialised vector, so these
+  /// scenarios scale to millions of jobs in O(active) memory.
+  workload::synth::SynthStreamConfig stream;
   sim::EngineConfig engine;
   /// Training jobs for STGA-style schedulers (paper Table 1: 500).
   std::size_t training_jobs = 500;
@@ -33,8 +38,18 @@ Scenario psa_scenario(std::size_t n_jobs = 1000);
 /// Synthetic testbed from an explicit generator config, 2000 s batches.
 Scenario synth_scenario(workload::synth::SynthConfig config);
 
+/// Streaming synthetic testbed (kSynthStream), 2000 s batches.
+Scenario synth_stream_scenario(workload::synth::SynthStreamConfig config);
+
 /// Materialise the scenario's workload; deterministic in (scenario, seed).
+/// A kSynthStream scenario is drained into a job vector here — use
+/// make_stream_workload for the O(active) path the runner takes.
 workload::Workload make_workload(const Scenario& scenario, std::uint64_t seed);
+
+/// The streaming workload of a kSynthStream scenario (grid + job cursor);
+/// throws std::invalid_argument for every other kind.
+workload::synth::StreamWorkload make_stream_workload(const Scenario& scenario,
+                                                     std::uint64_t seed);
 
 /// A reduced copy of the scenario used for the STGA training phase
 /// (`n_jobs` jobs over a proportionally shorter horizon) that reuses the

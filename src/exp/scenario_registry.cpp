@@ -13,6 +13,7 @@ using workload::synth::EtcConsistency;
 using workload::synth::Heterogeneity;
 using workload::synth::SecurityProfile;
 using workload::synth::SynthConfig;
+using workload::synth::SynthStreamConfig;
 
 struct ScenarioEntry {
   std::string description;
@@ -138,6 +139,30 @@ const std::map<std::string, ScenarioEntry>& registry() {
           config.churn.spread = 0.5;
           return synth_scenario(std::move(config));
         }}},
+      {"synth-stream-med",
+       {"streaming scale: 100k jobs / 100 sites via the job-stream cursor",
+        [] {
+          SynthStreamConfig config;
+          config.name = "synth-stream-med";
+          config.n_jobs = 100000;
+          config.n_sites = 100;
+          // ~720 nodes at ~1980 node-seconds per job sustains ~0.36
+          // jobs/s; 0.25 runs the grid at roughly 70% offered load.
+          config.arrival.rate = 0.25;
+          return synth_stream_scenario(std::move(config));
+        }}},
+      {"synth-stream-hi",
+       {"streaming scale: 1M jobs / 1000 sites via the job-stream cursor",
+        [] {
+          SynthStreamConfig config;
+          config.name = "synth-stream-hi";
+          config.n_jobs = 1000000;
+          config.n_sites = 1000;
+          // 10x the med grid sustains ~3.6 jobs/s; 2.4 keeps the same
+          // ~70% offered load at a million jobs.
+          config.arrival.rate = 2.4;
+          return synth_stream_scenario(std::move(config));
+        }}},
       {"synth-secure",
        {"trust-dominant security regime (risk rarely needed)",
         [] {
@@ -201,6 +226,9 @@ void override_jobs(Scenario& scenario, std::size_t n_jobs) {
       break;
     case ScenarioKind::kSynth:
       scenario.synth.n_jobs = n_jobs;
+      break;
+    case ScenarioKind::kSynthStream:
+      scenario.stream.n_jobs = n_jobs;
       break;
   }
 }

@@ -6,32 +6,31 @@ namespace gridsched::metrics {
 
 RunMetrics compute_metrics(const sim::Engine& engine) {
   RunMetrics metrics;
-  const auto& jobs = engine.jobs();
-  metrics.n_jobs = jobs.size();
+  const sim::SimKernel& kernel = engine.kernel();
+  metrics.n_jobs = kernel.total_jobs();
 
-  double response_sum = 0.0;
-  double exec_sum = 0.0;
-  double job_slowdown_sum = 0.0;
-  for (const sim::Job& job : jobs) {
-    if (job.state != sim::JobState::kCompleted) {
-      throw std::invalid_argument(
-          "compute_metrics: " +
-          sim::describe_unfinished(jobs, engine.makespan()));
-    }
-    if (job.took_risk) ++metrics.n_risk;
-    if (job.failures > 0) ++metrics.n_fail;
-    if (job.interruptions > 0) ++metrics.n_interrupted;
-    metrics.total_attempts += job.attempts;
-    const double response = job.finish - job.arrival;
-    const double final_exec = job.finish - job.last_start;
-    response_sum += response;
-    exec_sum += final_exec;
-    if (final_exec > 0.0) job_slowdown_sum += response / final_exec;
+  // Per-job sums come from the kernel's retirement accumulator, which
+  // folded every job in as it completed — in id order, with the exact
+  // floating-point operation sequence the former job loop here used, so
+  // every derived field is bit-identical. This is what lets the streaming
+  // kernel discard job records instead of holding all of them for a
+  // post-run pass.
+  const RetirementAccumulator& retired = kernel.retirement();
+  if (retired.jobs() != kernel.total_jobs()) {
+    throw std::invalid_argument(
+        "compute_metrics: " + kernel.describe_unfinished(engine.makespan()));
   }
+  metrics.n_risk = retired.n_risk();
+  metrics.n_fail = retired.n_fail();
+  metrics.n_interrupted = retired.n_interrupted();
+  metrics.total_attempts = retired.total_attempts();
+  const double response_sum = retired.response_sum();
+  const double exec_sum = retired.exec_sum();
+  const double job_slowdown_sum = retired.job_slowdown_sum();
 
   metrics.makespan = engine.makespan();
-  if (!jobs.empty()) {
-    const auto n = static_cast<double>(jobs.size());
+  if (metrics.n_jobs > 0) {
+    const auto n = static_cast<double>(metrics.n_jobs);
     metrics.avg_response = response_sum / n;
     metrics.avg_final_exec = exec_sum / n;
     metrics.slowdown_ratio =

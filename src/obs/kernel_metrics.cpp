@@ -67,7 +67,7 @@ void KernelMetricsObserver::on_job_complete(const sim::SimKernel& kernel,
                                             sim::Time time) {
   (void)site;
   completions_.inc();
-  job_response_seconds_.observe(time - kernel.jobs()[job].arrival);
+  job_response_seconds_.observe(time - kernel.job(job).arrival);
 }
 
 void KernelMetricsObserver::on_attempt_failure(const sim::SimKernel& kernel,

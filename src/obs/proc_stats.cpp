@@ -2,6 +2,11 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <cinttypes>
+#include <cstdio>
 #endif
 
 namespace gridsched::obs {
@@ -17,6 +22,24 @@ std::uint64_t peak_rss_bytes() noexcept {
   // Linux reports ru_maxrss in kilobytes.
   return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
 #endif
+#else
+  return 0;
+#endif
+}
+
+std::uint64_t current_rss_bytes() noexcept {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  std::uint64_t total_pages = 0;
+  std::uint64_t resident_pages = 0;
+  const int fields = std::fscanf(statm, "%" SCNu64 " %" SCNu64, &total_pages,
+                                 &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return resident_pages * static_cast<std::uint64_t>(page);
 #else
   return 0;
 #endif

@@ -11,4 +11,10 @@ namespace gridsched::obs {
 /// fake zero-byte peak — check before dividing).
 [[nodiscard]] std::uint64_t peak_rss_bytes() noexcept;
 
+/// Current resident set size in bytes (/proc/self/statm on Linux); 0 when
+/// unavailable. Unlike the peak, this can shrink, so per-phase deltas
+/// (e.g. bench rows reporting bytes attributable to one scenario) stay
+/// meaningful even after an earlier phase drove the peak higher.
+[[nodiscard]] std::uint64_t current_rss_bytes() noexcept;
+
 }  // namespace gridsched::obs

@@ -69,21 +69,24 @@ void TimeSeriesProbe::sample_at(const sim::SimKernel& kernel, sim::Time t) {
   // Busy fraction from the attempt table: an active attempt claims its
   // job's nodes on its site once the reservation window has started
   // (reservations are disjoint per node, so the sum never exceeds the
-  // site's capacity).
-  std::vector<double> busy_nodes(kernel.sites().size(), 0.0);
+  // site's capacity). The attempt and job tables are slot-parallel in
+  // both kernel storage modes, and recycled slots are inactive, so the
+  // slot sweep sees exactly the live attempts. busy_nodes_ is persistent
+  // scratch — sampling allocates nothing once the run's buffers exist.
+  busy_nodes_.assign(kernel.sites().size(), 0.0);
   const std::vector<sim::Attempt>& attempts = kernel.attempts();
   for (std::size_t j = 0; j < attempts.size(); ++j) {
     const sim::Attempt& attempt = attempts[j];
     if (!attempt.active) continue;
     ++sample.in_flight;
     if (attempt.window.start > t) continue;  // reserved, not yet started
-    busy_nodes[attempt.site] +=
+    busy_nodes_[attempt.site] +=
         static_cast<double>(kernel.jobs()[j].nodes);
   }
   sample.busy.resize(kernel.sites().size(), 0.0);
   for (std::size_t s = 0; s < kernel.sites().size(); ++s) {
     const unsigned nodes = kernel.sites()[s].config().nodes;
-    if (nodes > 0) sample.busy[s] = busy_nodes[s] / nodes;
+    if (nodes > 0) sample.busy[s] = busy_nodes_[s] / nodes;
   }
   series_.samples.push_back(std::move(sample));
 }

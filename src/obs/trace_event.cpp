@@ -34,6 +34,8 @@ std::string metadata(const char* name, int pid, int tid,
 
 void SimTraceRecorder::on_run_start(const sim::SimKernel& kernel) {
   events_.clear();
+  // Pre-size for the retained case; a streaming kernel's id space is not
+  // known yet, so open_slot() grows this on demand as jobs dispatch.
   open_.assign(kernel.jobs().size(), OpenAttempt{});
   down_since_.assign(kernel.sites().size(), -1.0);
 
@@ -113,14 +115,14 @@ void SimTraceRecorder::on_dispatch(const sim::SimKernel& kernel,
                                    double exec, unsigned serial) {
   (void)kernel;
   (void)exec;
-  open_[job] = {window.start, site, serial, true};
+  open_slot(job) = {window.start, site, serial, true};
 }
 
 void SimTraceRecorder::on_job_complete(const sim::SimKernel& kernel,
                                        sim::JobId job, sim::SiteId site,
                                        sim::Time time) {
   (void)kernel;
-  OpenAttempt& attempt = open_[job];
+  OpenAttempt& attempt = open_slot(job);
   if (!attempt.open) return;
   const std::string name = "job " + std::to_string(job);
   emit_span(name.c_str(), "attempt", site, attempt.start, time, job,
@@ -132,7 +134,7 @@ void SimTraceRecorder::on_attempt_failure(const sim::SimKernel& kernel,
                                           sim::JobId job, sim::SiteId site,
                                           sim::Time time) {
   (void)kernel;
-  OpenAttempt& attempt = open_[job];
+  OpenAttempt& attempt = open_slot(job);
   if (!attempt.open) return;
   const std::string name = "job " + std::to_string(job) + " (failed)";
   emit_span(name.c_str(), "attempt-failed", site, attempt.start, time, job,
@@ -146,7 +148,7 @@ void SimTraceRecorder::on_attempt_failure(const sim::SimKernel& kernel,
 void SimTraceRecorder::on_revoke(const sim::SimKernel& kernel, sim::JobId job,
                                  sim::SiteId site, sim::Time time) {
   (void)kernel;
-  OpenAttempt& attempt = open_[job];
+  OpenAttempt& attempt = open_slot(job);
   // Failure revocations arrive pre-closed by on_attempt_failure; an
   // attempt still open here was interrupted by a site outage.
   if (!attempt.open) return;

@@ -16,6 +16,13 @@ Engine::Engine(std::vector<SiteConfig> sites, std::vector<Job> jobs,
     : kernel_(std::move(sites), std::move(jobs), config, std::move(exec_model)),
       churn_(std::move(churn)) {}
 
+Engine::Engine(std::vector<SiteConfig> sites,
+               std::unique_ptr<workload::JobStream> stream, EngineConfig config,
+               ExecModel exec_model, std::vector<SiteChurnParams> churn)
+    : kernel_(std::move(sites), std::move(stream), config,
+              std::move(exec_model)),
+      churn_(std::move(churn)) {}
+
 void Engine::run(BatchScheduler& scheduler) {
   // Registration order fixes the FIFO tie-break among events pushed in
   // start(): arrivals first (matching the pre-kernel engine event order

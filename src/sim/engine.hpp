@@ -31,6 +31,15 @@ class Engine {
          EngineConfig config = {}, ExecModel exec_model = {},
          std::vector<SiteChurnParams> churn = {});
 
+  /// Streaming variant: jobs come from a cursor (workload/stream.hpp) and
+  /// the kernel keeps only O(active jobs) resident, recycling slots as
+  /// jobs retire — the constructor for million-job workloads. Semantics
+  /// are otherwise identical to the retained constructor (a materialized
+  /// stream produces bit-identical artifacts).
+  Engine(std::vector<SiteConfig> sites,
+         std::unique_ptr<workload::JobStream> stream, EngineConfig config = {},
+         ExecModel exec_model = {}, std::vector<SiteChurnParams> churn = {});
+
   /// Run to completion (all jobs finished). The scheduler object must
   /// outlive the call. Throws on scheduler protocol violations.
   void run(BatchScheduler& scheduler);

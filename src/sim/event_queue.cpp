@@ -2,14 +2,40 @@
 
 namespace gridsched::sim {
 
-void EventQueue::push(Event event) {
-  event.seq = next_seq_++;
-  heap_.push(event);
+void EventQueue::sift_in(const Event& event) {
+  heap_.push_back(event);
+  std::size_t child = heap_.size() - 1;
+  while (child > 0) {
+    const std::size_t parent = (child - 1) / 2;
+    if (!later(heap_[parent], heap_[child])) break;
+    const Event tmp = heap_[parent];
+    heap_[parent] = heap_[child];
+    heap_[child] = tmp;
+    child = parent;
+  }
 }
 
 Event EventQueue::pop() {
-  Event event = heap_.top();
-  heap_.pop();
+  const Event event = heap_.front();
+  const Event last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    // Sift the displaced tail element down from the root (hole-based: the
+    // smaller child moves up until `last` fits).
+    std::size_t hole = 0;
+    while (true) {
+      const std::size_t left = 2 * hole + 1;
+      if (left >= n) break;
+      std::size_t child = left;
+      const std::size_t right = left + 1;
+      if (right < n && later(heap_[left], heap_[right])) child = right;
+      if (!later(last, heap_[child])) break;
+      heap_[hole] = heap_[child];
+      hole = child;
+    }
+    heap_[hole] = last;
+  }
   return event;
 }
 

@@ -1,9 +1,21 @@
 // Stable discrete-event queue: events pop in time order; ties break by
 // insertion sequence so simulations are deterministic.
+//
+// The heap is hand-rolled over a flat vector (no std::priority_queue
+// comparator indirection — the (time, seq) compare inlines into the sift
+// loops) and takes a capacity hint via reserve(), so in steady state a
+// push never allocates: the hot event loop's queue traffic is heap-free
+// once the backing vector has grown to the run's high-water mark.
+//
+// Sequence numbers: push() assigns the next counter value, matching the
+// old queue exactly. A streamed run cannot push all arrivals up front, so
+// the kernel reserves the arrival block instead — reserve_seqs(n) starts
+// the counter at n and push_reserved(event, seq) pushes with an explicit
+// seq from the reserved [0, n) block. Eager and lazy arrival injection
+// therefore produce the identical (time, seq) total order.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -39,20 +51,44 @@ struct Event {
 
 class EventQueue {
  public:
-  void push(Event event);
+  /// Capacity hint: grow the backing vector once, up front, so steady-state
+  /// pushes below the hint never allocate.
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+
+  /// Push with the next auto-assigned sequence number.
+  void push(Event event) {
+    event.seq = next_seq_++;
+    sift_in(event);
+  }
+
+  /// Push with an explicit sequence number from a block previously set
+  /// aside by reserve_seqs(). Does not advance the auto counter.
+  void push_reserved(Event event, std::uint64_t seq) {
+    event.seq = seq;
+    sift_in(event);
+  }
+
+  /// Start auto-assigned sequence numbers at `first` (never moves the
+  /// counter backwards), leaving [0, first) for push_reserved callers.
+  void reserve_seqs(std::uint64_t first) noexcept {
+    if (next_seq_ < first) next_seq_ = first;
+  }
+
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
-  [[nodiscard]] const Event& top() const { return heap_.top(); }
+  [[nodiscard]] const Event& top() const { return heap_.front(); }
   Event pop();
 
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Strict weak order: does `a` pop after `b`?
+  static bool later(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void sift_in(const Event& event);
+
+  std::vector<Event> heap_;  ///< binary min-heap on (time, seq)
   std::uint64_t next_seq_ = 0;
 };
 

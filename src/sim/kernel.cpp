@@ -7,6 +7,21 @@
 
 namespace gridsched::sim {
 
+namespace {
+
+/// Initial id->slot ring capacity in streaming mode (grows by doubling).
+constexpr std::size_t kInitialSlotRing = 64;
+
+std::size_t checked_stream_size(
+    const std::unique_ptr<workload::JobStream>& stream) {
+  if (stream == nullptr) {
+    throw std::invalid_argument("Engine: null job stream");
+  }
+  return stream->size();
+}
+
+}  // namespace
+
 std::string describe_unfinished(const std::vector<Job>& jobs, Time sim_time) {
   constexpr std::size_t kMaxNamed = 5;
   std::size_t unfinished = 0;
@@ -29,9 +44,11 @@ std::string describe_unfinished(const std::vector<Job>& jobs, Time sim_time) {
   return text + "]";
 }
 
-SimKernel::SimKernel(std::vector<SiteConfig> sites, std::vector<Job> jobs,
-                     EngineConfig config, ExecModel exec_model)
-    : config_(config), exec_model_(std::move(exec_model)) {
+SimKernel::SimKernel(std::vector<SiteConfig> sites, EngineConfig config,
+                     ExecModel exec_model, std::size_t total_jobs)
+    : config_(config),
+      exec_model_(std::move(exec_model)),
+      total_jobs_(total_jobs) {
   if (sites.empty()) throw std::invalid_argument("Engine: no sites");
   if (config_.batch_interval <= 0.0) {
     throw std::invalid_argument("Engine: batch_interval must be > 0");
@@ -42,16 +59,61 @@ SimKernel::SimKernel(std::vector<SiteConfig> sites, std::vector<Job> jobs,
     sc.id = static_cast<SiteId>(i);  // ids are dense indices by construction
     sites_.emplace_back(sc);
   }
+  // The matrix rows are keyed by dense job ids; a shape mismatch would
+  // silently read a different job's row.
+  exec_model_.check_shape(total_jobs_, sites_.size());
+  site_up_.assign(sites_.size(), 1);
+}
+
+SimKernel::SimKernel(std::vector<SiteConfig> sites, std::vector<Job> jobs,
+                     EngineConfig config, ExecModel exec_model)
+    : SimKernel(std::move(sites), config, std::move(exec_model), jobs.size()) {
   jobs_ = std::move(jobs);
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
     jobs_[i].id = static_cast<JobId>(i);
   }
-  // The matrix rows are keyed by the dense ids just assigned; a shape
-  // mismatch would silently read a different job's row.
-  exec_model_.check_shape(jobs_.size(), sites_.size());
   attempts_.resize(jobs_.size());
-  site_up_.assign(sites_.size(), 1);
+  // Identity id->slot ring: a power-of-two capacity >= the job count makes
+  // `id & slot_mask_ == id`, so job(id) resolves through the same path the
+  // streaming mode uses while slot index stays exactly the job id.
+  std::size_t capacity = 1;
+  while (capacity < jobs_.size()) capacity <<= 1;
+  slot_of_.resize(capacity);
+  slot_mask_ = static_cast<std::uint32_t>(capacity - 1);
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    slot_of_[i] = static_cast<std::uint32_t>(i);
+  }
+  admitted_ = jobs_.size();
   if (config_.validate_feasibility) validate_workload();
+}
+
+SimKernel::SimKernel(std::vector<SiteConfig> sites,
+                     std::unique_ptr<workload::JobStream> stream,
+                     EngineConfig config, ExecModel exec_model)
+    : SimKernel(std::move(sites), config, std::move(exec_model),
+                checked_stream_size(stream)) {
+  stream_mode_ = true;
+  stream_ = std::move(stream);
+  slot_of_.resize(kInitialSlotRing);
+  slot_mask_ = static_cast<std::uint32_t>(kInitialSlotRing - 1);
+  if (config_.validate_feasibility) {
+    // Per-admission feasibility must be O(1): precompute, for every node
+    // count k, the best security level any site with >= k nodes offers.
+    // is_safe(demand, level) is monotone in level, so "some site fits and
+    // is safe" == "is_safe(demand, best_security_[nodes])".
+    unsigned max_nodes = 0;
+    for (const GridSite& site : sites_) {
+      max_nodes = std::max(max_nodes, site.config().nodes);
+    }
+    best_security_.assign(static_cast<std::size_t>(max_nodes) + 1, -1.0);
+    for (const GridSite& site : sites_) {
+      double& best = best_security_[site.config().nodes];
+      best = std::max(best, site.security());
+    }
+    for (std::size_t k = max_nodes; k-- > 1;) {
+      best_security_[k] = std::max(best_security_[k], best_security_[k + 1]);
+    }
+  }
 }
 
 void SimKernel::validate_workload() const {
@@ -73,6 +135,114 @@ void SimKernel::validate_workload() const {
           " has no absolutely-safe site; it could starve after a failure");
     }
   }
+}
+
+void SimKernel::validate_admitted(const Job& job) const {
+  if (job.work <= 0.0)
+    throw std::invalid_argument("Engine: job work must be > 0");
+  if (job.nodes == 0)
+    throw std::invalid_argument("Engine: job nodes must be > 0");
+  if (job.arrival < 0.0)
+    throw std::invalid_argument("Engine: negative arrival");
+  const bool safe_home =
+      job.nodes < best_security_.size() &&
+      security::is_safe(job.demand, best_security_[job.nodes]);
+  if (!safe_home) {
+    throw std::invalid_argument(
+        "Engine: job " + std::to_string(job.id) +
+        " has no absolutely-safe site; it could starve after a failure");
+  }
+}
+
+bool SimKernel::admit_next(Event& arrival) {
+  if (!stream_mode_ || admitted_ == total_jobs_) return false;
+  Job job{};
+  if (!stream_->next(job)) {
+    throw std::runtime_error(
+        "Engine: job stream ended after " + std::to_string(admitted_) +
+        " of " + std::to_string(total_jobs_) + " job(s)");
+  }
+  job.id = static_cast<JobId>(admitted_);
+  if (job.arrival < last_arrival_) {
+    throw std::invalid_argument(
+        "Engine: job stream arrivals must be nondecreasing (job " +
+        std::to_string(job.id) + ")");
+  }
+  last_arrival_ = job.arrival;
+  if (config_.validate_feasibility) validate_admitted(job);
+  std::uint32_t slot = 0;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(jobs_.size());
+    jobs_.emplace_back();
+    attempts_.emplace_back();
+    // Keep enough spare capacity for every slot to be parked free at once,
+    // so retirement pushes never allocate in the steady-state loop.
+    free_slots_.reserve(jobs_.size());
+  }
+  if (admitted_ + 1 - retire_frontier_ > slot_of_.size()) grow_slot_ring();
+  jobs_[slot] = job;
+  attempts_[slot] = Attempt{};
+  slot_of_[job.id & slot_mask_] = slot;
+  ++admitted_;
+  arrival = Event{};
+  arrival.time = job.arrival;
+  arrival.kind = EventKind::kJobArrival;
+  arrival.job = job.id;
+  return true;
+}
+
+void SimKernel::grow_slot_ring() {
+  // Live ids form the contiguous window [retire_frontier_, admitted_), so
+  // any power-of-two capacity >= the window length is collision-free.
+  std::vector<std::uint32_t> bigger(slot_of_.size() * 2);
+  const std::uint32_t mask = static_cast<std::uint32_t>(bigger.size() - 1);
+  for (std::size_t id = retire_frontier_; id < admitted_; ++id) {
+    bigger[id & mask] = slot_of_[id & slot_mask_];
+  }
+  slot_of_.swap(bigger);
+  slot_mask_ = mask;
+}
+
+void SimKernel::retire_completed() {
+  // Retire strictly in id order: a completed job waits in its slot until
+  // every lower id has retired, so the accumulator sums in the same order
+  // the retained metrics loop would (bit-identical floating-point sums).
+  while (retire_frontier_ < admitted_) {
+    const std::uint32_t slot =
+        slot_of_[static_cast<JobId>(retire_frontier_) & slot_mask_];
+    if (jobs_[slot].state != JobState::kCompleted) break;
+    retired_.add(jobs_[slot]);
+    if (stream_mode_) free_slots_.push_back(slot);
+    ++retire_frontier_;
+  }
+}
+
+std::string SimKernel::describe_unfinished(Time sim_time) const {
+  if (!stream_mode_) return sim::describe_unfinished(jobs_, sim_time);
+  constexpr std::size_t kMaxNamed = 5;
+  std::size_t unfinished = 0;
+  std::string ids;
+  for (std::size_t id = retire_frontier_; id < total_jobs_; ++id) {
+    const JobState state = id < admitted_
+                               ? job(static_cast<JobId>(id)).state
+                               : JobState::kPending;
+    if (state == JobState::kCompleted) continue;
+    ++unfinished;
+    if (unfinished <= kMaxNamed) {
+      if (!ids.empty()) ids += ", ";
+      ids += std::to_string(id);
+      ids += state == JobState::kDispatched ? " (dispatched)" : " (pending)";
+    }
+  }
+  std::string text = std::to_string(unfinished) + " of " +
+                     std::to_string(total_jobs_) + " job(s) unfinished at " +
+                     "sim time " + std::to_string(sim_time) + "; first ids: [" +
+                     ids;
+  if (unfinished > kMaxNamed) text += ", ...";
+  return text + "]";
 }
 
 void SimKernel::add_process(SimProcess& process) {
@@ -113,18 +283,18 @@ void SimKernel::request_cycle(Time now) {
 }
 
 unsigned SimKernel::revoke_attempt(JobId job_id, Time now) {
-  Job& job = jobs_[job_id];
-  Attempt& attempt = attempts_[job_id];
-  if (observer_) observer_->on_revoke(*this, job_id, attempt.site, now);
-  attempt.active = false;  // any queued kJobEnd for this attempt is stale
+  Job& the_job = job(job_id);
+  Attempt& the_attempt = attempt(job_id);
+  if (observer_) observer_->on_revoke(*this, job_id, the_attempt.site, now);
+  the_attempt.active = false;  // any queued kJobEnd for this attempt is stale
   --running_;
-  job.state = JobState::kPending;
-  GridSite& site = sites_[attempt.site];
-  if (attempt.window.start < now) {
-    site.account_busy(job.nodes, now - attempt.window.start);
+  the_job.state = JobState::kPending;
+  GridSite& site = sites_[the_attempt.site];
+  if (the_attempt.window.start < now) {
+    site.account_busy(the_job.nodes, now - the_attempt.window.start);
   }
   const unsigned released =
-      site.release_after_failure(job.nodes, attempt.window.end, now);
+      site.release_after_failure(the_job.nodes, the_attempt.window.end, now);
   pending_.push_back(job_id);
   return released;
 }
@@ -143,7 +313,16 @@ void SimKernel::run() {
     }
   } guard{this};
 
-  arrivals_remaining_ = jobs_.size();
+  arrivals_remaining_ = total_jobs_;
+  // Arrival events always carry reserved sequence numbers (seq == job id),
+  // so eager (retained) and lazy (streamed) injection pop in the identical
+  // (time, seq) total order; dynamic events number from total_jobs_ on.
+  events_.reserve_seqs(total_jobs_);
+  // Capacity hint: the retained arrival burst dominates the queue's
+  // high-water mark; a streamed queue holds O(active) events.
+  events_.reserve(stream_mode_
+                      ? std::min<std::size_t>(total_jobs_, 1024) + 64
+                      : total_jobs_ + 64);
   for (SimProcess* process : processes_) process->start(*this);
   if (observer_) observer_->on_run_start(*this);
 
@@ -152,7 +331,7 @@ void SimKernel::run() {
   // long as the simulation could need them.
   Time now = 0.0;
   while (!events_.empty()) {
-    if (counters_.completed_jobs == jobs_.size()) break;
+    if (counters_.completed_jobs == total_jobs_) break;
     const Event event = events_.pop();
     now = event.time;
     // Watchdog checkpoint: batch cycles are the kernel's natural pause
@@ -169,9 +348,9 @@ void SimKernel::run() {
     route->handle(*this, event);
   }
 
-  if (counters_.completed_jobs != jobs_.size()) {
+  if (counters_.completed_jobs != total_jobs_) {
     throw std::runtime_error("Engine: simulation ended with " +
-                             describe_unfinished(jobs_, now));
+                             describe_unfinished(now));
   }
   if (observer_) observer_->on_run_end(*this);
 }

@@ -1,20 +1,38 @@
 // Event-driven simulation kernel. SimKernel owns only the generic
 // machinery — event queue, clock, deterministic FIFO tie-breaking, shared
-// run state (jobs, sites, attempts, pending queue, counters) and the
+// run state (job slots, sites, attempts, pending queue, counters) and the
 // site-availability mask — while every dynamic process of the simulated
 // grid (job arrivals, periodic batch scheduling, security failures, site
 // churn) is a pluggable SimProcess that registers for the event kinds it
 // owns. sim::Engine (engine.hpp) is the compatibility facade that wires
 // the paper's standard process set onto a kernel.
+//
+// Job storage comes in two modes, selected by the constructor:
+//
+//  - retained (vector ctor): every job is materialised up front and slot
+//    index == job id, exactly like the pre-streaming kernel — all existing
+//    callers (and their artifacts) are bit-identical.
+//  - streaming (JobStream ctor): jobs are admitted lazily, one arrival
+//    ahead of the clock, into a recycled slot table. A completed job
+//    retires into the RetirementAccumulator as soon as every lower id has
+//    retired (in-order retirement frontier), freeing its slot — resident
+//    job state is O(active jobs), not O(total), which is what opens
+//    million-job workloads (ROADMAP "Streaming-kernel invariants").
+//
+// In both modes jobs retire in id order through the same accumulator, so
+// metrics::compute_metrics produces bit-identical sums, and arrival events
+// carry reserved sequence numbers (seq == job id) so eager and lazy
+// injection pop in the identical (time, seq) order.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "metrics/retirement.hpp"
 #include "security/security.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/exec_model.hpp"
@@ -22,6 +40,7 @@
 #include "sim/observer.hpp"
 #include "sim/site.hpp"
 #include "util/cancel.hpp"
+#include "workload/stream.hpp"
 
 namespace gridsched::sim {
 
@@ -143,7 +162,17 @@ class DispatchModel {
 /// caller registers processes (non-owning) and calls run().
 class SimKernel {
  public:
+  /// Retained mode: materialise `jobs` up front (slot == id). Identical
+  /// behaviour and artifacts to the pre-streaming kernel.
   SimKernel(std::vector<SiteConfig> sites, std::vector<Job> jobs,
+            EngineConfig config = {}, ExecModel exec_model = {});
+
+  /// Streaming mode: pull jobs from `stream` on demand and recycle slots
+  /// as jobs retire; resident job state is O(active). Feasibility is
+  /// validated per admission (O(1) via a precomputed best-security-per-
+  /// node-count table) and arrivals must be nondecreasing.
+  SimKernel(std::vector<SiteConfig> sites,
+            std::unique_ptr<workload::JobStream> stream,
             EngineConfig config = {}, ExecModel exec_model = {});
 
   /// Register a process and route its owned kinds to it. Throws
@@ -156,6 +185,11 @@ class SimKernel {
   void run();
 
   // --- shared state, mutable for processes ---
+  /// The job slot table. Retained mode: all jobs, slot == id. Streaming
+  /// mode: live slots only (recycled slots hold stale retired data until
+  /// reused) — processes address jobs by id via job()/attempt(); only
+  /// slot-parallel scans (timeseries busy profile, churn victim sweep)
+  /// index this directly, always gated on Attempt::active.
   [[nodiscard]] std::vector<Job>& jobs() noexcept { return jobs_; }
   [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
   [[nodiscard]] std::vector<GridSite>& sites() noexcept { return sites_; }
@@ -166,8 +200,8 @@ class SimKernel {
   [[nodiscard]] const std::vector<Attempt>& attempts() const noexcept {
     return attempts_;
   }
-  [[nodiscard]] std::deque<JobId>& pending() noexcept { return pending_; }
-  [[nodiscard]] const std::deque<JobId>& pending() const noexcept {
+  [[nodiscard]] std::vector<JobId>& pending() noexcept { return pending_; }
+  [[nodiscard]] const std::vector<JobId>& pending() const noexcept {
     return pending_;
   }
   [[nodiscard]] EngineCounters& counters() noexcept { return counters_; }
@@ -179,6 +213,55 @@ class SimKernel {
     return exec_model_;
   }
 
+  // --- job identity (id -> slot) ---
+  /// Total jobs this run will simulate (stream size in streaming mode).
+  [[nodiscard]] std::size_t total_jobs() const noexcept { return total_jobs_; }
+  /// Job / attempt by id. Valid for live ids only: admitted and not yet
+  /// retired (retained mode never retires slots, so any id works there).
+  [[nodiscard]] Job& job(JobId id) noexcept {
+    return jobs_[slot_of_[id & slot_mask_]];
+  }
+  [[nodiscard]] const Job& job(JobId id) const noexcept {
+    return jobs_[slot_of_[id & slot_mask_]];
+  }
+  [[nodiscard]] Attempt& attempt(JobId id) noexcept {
+    return attempts_[slot_of_[id & slot_mask_]];
+  }
+  [[nodiscard]] const Attempt& attempt(JobId id) const noexcept {
+    return attempts_[slot_of_[id & slot_mask_]];
+  }
+  /// True once `id` has been folded into the retirement accumulator (its
+  /// slot may already belong to another job). Guards stale end events.
+  [[nodiscard]] bool is_retired(JobId id) const noexcept {
+    return id < retire_frontier_;
+  }
+  /// Ids retired so far == the in-order retirement frontier.
+  [[nodiscard]] std::size_t retired_jobs() const noexcept {
+    return retire_frontier_;
+  }
+  /// Streaming metric sums over retired jobs (all jobs, post-run).
+  [[nodiscard]] const metrics::RetirementAccumulator& retirement()
+      const noexcept {
+    return retired_;
+  }
+  /// High-water slot count (== total jobs in retained mode; O(active) in
+  /// streaming mode — the streaming scale tests pin this).
+  [[nodiscard]] std::size_t peak_slots() const noexcept { return jobs_.size(); }
+
+  /// Streaming mode: admit the next job from the cursor into a slot and
+  /// fill `arrival` with its kJobArrival event; false when exhausted (or
+  /// in retained mode). Called by ArrivalProcess, one arrival ahead.
+  bool admit_next(Event& arrival);
+
+  /// Advance the retirement frontier over completed jobs (in id order),
+  /// folding each into the accumulator and (streaming mode) freeing its
+  /// slot. Called after every completion.
+  void retire_completed();
+
+  /// Kernel-level variant of sim::describe_unfinished that works in both
+  /// storage modes (byte-identical to the free function in retained mode).
+  [[nodiscard]] std::string describe_unfinished(Time sim_time) const;
+
   /// max over jobs of finish time (0 before run / for empty workloads).
   [[nodiscard]] Time makespan() const noexcept { return makespan_; }
   void observe_finish(Time time) noexcept {
@@ -187,6 +270,11 @@ class SimKernel {
 
   // --- event machinery ---
   void push_event(Event event) { events_.push(event); }
+  /// Push with a reserved sequence number (arrival events use seq == job
+  /// id; see EventQueue::reserve_seqs).
+  void push_event_reserved(Event event, std::uint64_t seq) {
+    events_.push_reserved(event, seq);
+  }
 
   /// Schedule the next batch cycle strictly after `now` if none is queued.
   /// Cycle times derive from an integer cycle index (index *
@@ -258,16 +346,21 @@ class SimKernel {
   }
 
  private:
+  SimKernel(std::vector<SiteConfig> sites, EngineConfig config,
+            ExecModel exec_model, std::size_t total_jobs);
+
   void validate_workload() const;
+  void validate_admitted(const Job& job) const;
+  void grow_slot_ring();
 
   std::vector<GridSite> sites_;
-  std::vector<Job> jobs_;
+  std::vector<Job> jobs_;  ///< slot table (all jobs in retained mode)
   EngineConfig config_;
   ExecModel exec_model_;
 
   EventQueue events_;
-  std::deque<JobId> pending_;
-  std::vector<Attempt> attempts_;  ///< per job, current attempt
+  std::vector<JobId> pending_;
+  std::vector<Attempt> attempts_;  ///< per slot, current attempt
   std::vector<std::uint8_t> site_up_;
   EngineCounters counters_;
   Time makespan_ = 0.0;
@@ -280,6 +373,23 @@ class SimKernel {
   SimProcess* routes_[kEventKindCount] = {};
   KernelObserver* observer_ = nullptr;
   bool ran_ = false;
+
+  // --- job identity / streaming state ---
+  bool stream_mode_ = false;
+  std::unique_ptr<workload::JobStream> stream_;
+  std::size_t total_jobs_ = 0;
+  std::size_t admitted_ = 0;        ///< ids [0, admitted_) hold a slot
+  std::size_t retire_frontier_ = 0; ///< ids [0, frontier) are retired
+  Time last_arrival_ = 0.0;         ///< sorted-stream admission guard
+  /// id -> slot ring (power-of-two capacity >= live-id window); identity
+  /// in retained mode.
+  std::vector<std::uint32_t> slot_of_;
+  std::uint32_t slot_mask_ = 0;
+  std::vector<std::uint32_t> free_slots_;  ///< recycled slots (stream mode)
+  /// Per-admission feasibility table: best_security_[k] = max security
+  /// level over sites with >= k nodes (-1 when no site fits k).
+  std::vector<double> best_security_;
+  metrics::RetirementAccumulator retired_;
 };
 
 }  // namespace gridsched::sim

@@ -3,7 +3,6 @@
 #include <chrono>
 #include <stdexcept>
 #include <string>
-#include <unordered_set>
 
 namespace gridsched::sim {
 
@@ -21,20 +20,28 @@ void BatchCycleProcess::handle(SimKernel& kernel, const Event& event) {
 void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
   if (kernel.pending().empty()) return;
 
-  SchedulerContext context;
-  context.now = now;
-  context.exec = kernel.exec_model();
-  context.site_up = kernel.site_mask();
+  // Refresh the persistent context snapshot in place. Site configs and the
+  // execution model never change mid-run, so they are captured once; the
+  // per-cycle fields (availability profiles, site mask, batch) copy-assign
+  // into buffers that already hold their high-water capacity.
   const std::vector<GridSite>& sites = kernel.sites();
-  context.sites.reserve(sites.size());
-  context.avail.reserve(sites.size());
-  for (const GridSite& site : sites) {
-    context.sites.push_back(site.config());
-    context.avail.push_back(site.availability());
+  SchedulerContext& context = context_;
+  context.now = now;
+  if (!context_static_ready_) {
+    context.exec = kernel.exec_model();
+    context.sites.reserve(sites.size());
+    for (const GridSite& site : sites) context.sites.push_back(site.config());
+    context.avail.resize(sites.size(), NodeAvailability(1, 0.0));
+    context_static_ready_ = true;
   }
+  context.site_up = kernel.site_mask();
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    context.avail[s] = sites[s].availability();
+  }
+  context.jobs.clear();
   context.jobs.reserve(kernel.pending().size());
   for (const JobId id : kernel.pending()) {
-    const Job& job = kernel.jobs()[id];
+    const Job& job = kernel.job(id);
     context.jobs.push_back(
         {job.id, job.work, job.nodes, job.demand, job.arrival,
          job.secure_only});
@@ -45,18 +52,18 @@ void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
   // the kernel.scheduler_seconds gauge only — never a byte-stable artifact.
   // NOLINTNEXTLINE(GS-R05): wall-clock is observability-only here
   const auto wall_start = std::chrono::steady_clock::now();
-  const std::vector<Assignment> assignments = scheduler_.schedule(context);
+  scheduler_.schedule_into(context, assignments_);
   const double wall =
       // NOLINTNEXTLINE(GS-R05): wall-clock is observability-only here
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
   kernel.counters().scheduler_seconds += wall;
+  const std::vector<Assignment>& assignments = assignments_;
   kernel.notify_cycle(now, context.jobs.size(), assignments.size(), wall);
 
   // Validate and apply in the order the scheduler chose.
-  std::unordered_set<std::size_t> assigned;
-  assigned.reserve(assignments.size());
+  assigned_.assign(context.jobs.size(), 0);
   for (const Assignment& assignment : assignments) {
     if (assignment.job_index >= context.jobs.size()) {
       throw std::logic_error("scheduler returned an out-of-range job index");
@@ -64,11 +71,12 @@ void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
     if (assignment.site >= sites.size()) {
       throw std::logic_error("scheduler returned an invalid site id");
     }
-    if (!assigned.insert(assignment.job_index).second) {
+    if (assigned_[assignment.job_index]) {
       throw std::logic_error("scheduler assigned the same job twice");
     }
+    assigned_[assignment.job_index] = 1;
     const JobId job_id = context.jobs[assignment.job_index].id;
-    const Job& job = kernel.jobs()[job_id];
+    const Job& job = kernel.job(job_id);
     const GridSite& site = sites[assignment.site];
     if (!kernel.site_usable(assignment.site)) {
       throw std::logic_error(
@@ -86,13 +94,16 @@ void BatchCycleProcess::run_cycle(SimKernel& kernel, Time now) {
     dispatcher_.dispatch(kernel, job_id, assignment.site, now);
   }
 
-  // Remove dispatched jobs from the pending queue, preserving order.
+  // Compact dispatched jobs out of the pending queue in place, preserving
+  // order (nothing was appended during the cycle, so pending index ==
+  // batch index).
   if (!assignments.empty()) {
-    std::deque<JobId> still_pending;
-    for (std::size_t i = 0; i < kernel.pending().size(); ++i) {
-      if (!assigned.count(i)) still_pending.push_back(kernel.pending()[i]);
+    std::vector<JobId>& pending = kernel.pending();
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (!assigned_[i]) pending[write++] = pending[i];
     }
-    kernel.pending().swap(still_pending);
+    pending.resize(write);
     idle_cycles_ = 0;
   } else {
     if (++idle_cycles_ > kernel.config().max_idle_cycles) {

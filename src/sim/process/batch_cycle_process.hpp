@@ -31,6 +31,14 @@ class BatchCycleProcess final : public SimProcess {
   BatchScheduler& scheduler_;
   DispatchModel& dispatcher_;
   std::size_t idle_cycles_ = 0;
+  // Persistent cycle scratch: the context snapshot, assignment list and
+  // per-batch-index marks are rebuilt every cycle but keep their heap
+  // buffers, so a steady-state cycle performs no allocations (the
+  // invariants tests pin this with a counting allocator).
+  SchedulerContext context_;
+  std::vector<Assignment> assignments_;
+  std::vector<std::uint8_t> assigned_;
+  bool context_static_ready_ = false;
 };
 
 }  // namespace gridsched::sim

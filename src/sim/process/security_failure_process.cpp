@@ -14,7 +14,7 @@ std::span<const EventKind> SecurityFailureProcess::owned_kinds()
 
 void SecurityFailureProcess::dispatch(SimKernel& kernel, JobId job_id,
                                       SiteId site_id, Time now) {
-  Job& job = kernel.jobs()[job_id];
+  Job& job = kernel.job(job_id);
   GridSite& site = kernel.sites()[site_id];
   const EngineConfig& config = kernel.config();
 
@@ -23,7 +23,7 @@ void SecurityFailureProcess::dispatch(SimKernel& kernel, JobId job_id,
   const NodeAvailability::Window window = site.dispatch(job.nodes, exec, now);
 
   ++job.attempts;
-  Attempt& attempt = kernel.attempts()[job_id];
+  Attempt& attempt = kernel.attempt(job_id);
   attempt = {window, exec, site_id, job.attempts, true};
   kernel.job_started();
   job.state = JobState::kDispatched;
@@ -75,8 +75,12 @@ void SecurityFailureProcess::dispatch(SimKernel& kernel, JobId job_id,
 }
 
 void SecurityFailureProcess::handle(SimKernel& kernel, const Event& event) {
-  Job& job = kernel.jobs()[event.job];
-  Attempt& attempt = kernel.attempts()[event.job];
+  // A retired job's slot may already belong to another job (streaming
+  // kernel); an end event for it is necessarily stale — the job completed
+  // elsewhere after the attempt this end belongs to was revoked.
+  if (kernel.is_retired(event.job)) return;
+  Job& job = kernel.job(event.job);
+  Attempt& attempt = kernel.attempt(event.job);
   // A site-down revocation deactivates the attempt (and a re-dispatch bumps
   // the serial) but cannot remove the already-queued end event; drop it.
   if (!attempt.active || attempt.serial != event.attempt) return;
@@ -106,6 +110,10 @@ void SecurityFailureProcess::handle(SimKernel& kernel, const Event& event) {
     kernel.observe_finish(event.time);
     ++kernel.counters().completed_jobs;
     kernel.notify_job_complete(event.job, attempt.site, event.time);
+    // Fold newly-retirable jobs into the metric accumulator (and, in
+    // streaming mode, recycle their slots) after observers saw the
+    // completion — observers address jobs by id and must see live state.
+    kernel.retire_completed();
   }
 }
 

@@ -85,22 +85,24 @@ void SiteChurnProcess::take_site_down(SimKernel& kernel, SiteId site_id,
   // Victim attempts, latest stored window end first: a node's free time
   // equals the *last* reservation stacked onto it, so releasing in
   // descending end order reclaims every tail that is reclaimable at all.
-  std::vector<JobId> victims;
+  // The sweep walks the slot table (only live attempts are active) but
+  // records job ids — the sort below and the revocations address by id.
+  victims_.clear();
   for (std::size_t j = 0; j < kernel.attempts().size(); ++j) {
     const Attempt& attempt = kernel.attempts()[j];
     if (attempt.active && attempt.site == site_id) {
-      victims.push_back(static_cast<JobId>(j));
+      victims_.push_back(kernel.jobs()[j].id);
     }
   }
-  std::sort(victims.begin(), victims.end(), [&](JobId a, JobId b) {
-    const Time end_a = kernel.attempts()[a].window.end;
-    const Time end_b = kernel.attempts()[b].window.end;
+  std::sort(victims_.begin(), victims_.end(), [&](JobId a, JobId b) {
+    const Time end_a = kernel.attempt(a).window.end;
+    const Time end_b = kernel.attempt(b).window.end;
     if (end_a != end_b) return end_a > end_b;
     return a < b;  // deterministic tie-break
   });
 
-  for (const JobId job_id : victims) {
-    Job& job = kernel.jobs()[job_id];
+  for (const JobId job_id : victims_) {
+    Job& job = kernel.job(job_id);
     ++job.interruptions;
     ++kernel.counters().interrupted_attempts;
     // Reclaim through the stored window — the same revocation primitive
@@ -114,7 +116,7 @@ void SiteChurnProcess::take_site_down(SimKernel& kernel, SiteId site_id,
     kernel.counters().churn_released_nodes += released;
     kernel.counters().churn_unreleased_nodes += job.nodes - released;
   }
-  if (!victims.empty()) kernel.request_cycle(now);
+  if (!victims_.empty()) kernel.request_cycle(now);
 }
 
 void SiteChurnProcess::handle(SimKernel& kernel, const Event& event) {

@@ -73,6 +73,15 @@ class BatchScheduler {
   /// Map (a subset of) the batch to sites. Jobs omitted from the result
   /// remain pending and reappear in the next cycle's batch.
   virtual std::vector<Assignment> schedule(const SchedulerContext& context) = 0;
+
+  /// Allocation-aware variant: write the assignments into `out` (cleared
+  /// first), reusing its capacity. The engine's batch cycle calls this so
+  /// a scheduler that overrides it can keep the steady-state event loop
+  /// heap-free; the default simply delegates to schedule().
+  virtual void schedule_into(const SchedulerContext& context,
+                             std::vector<Assignment>& out) {
+    out = schedule(context);
+  }
 };
 
 }  // namespace gridsched::sim

@@ -31,9 +31,14 @@ NodeAvailability::Window NodeAvailability::reserve(unsigned k, double exec,
   const Window window = preview(k, exec, now);
   // The k earliest-free nodes are all idle by window.start; occupy them.
   for (unsigned i = 0; i < k; ++i) free_[i] = window.end;
-  // Restore sorted order: the first k entries are equal and >= the old
-  // values; merge them into the sorted tail.
-  std::inplace_merge(free_.begin(), free_.begin() + k, free_.end());
+  // Restore sorted order. The k changed entries are all equal to
+  // window.end, so rotating them as one block to just before the first
+  // strictly-larger tail entry yields the same profile a stable merge
+  // would — without std::inplace_merge's temporary-buffer allocation
+  // (the reserve path must stay heap-free in the steady-state event loop).
+  const auto middle = free_.begin() + k;
+  const auto insert_at = std::lower_bound(middle, free_.end(), window.end);
+  std::rotate(free_.begin(), middle, insert_at);
   return window;
 }
 

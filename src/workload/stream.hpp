@@ -1,0 +1,60 @@
+// Streaming workload cursor: pull the next job arrival on demand instead
+// of materialising the whole workload up front. SimKernel's stream
+// constructor drives one of these through ArrivalProcess, holding O(active)
+// job state however many jobs the stream will eventually yield; the
+// MaterializedStream adapter wraps every existing generator's job vector so
+// a streamed run of any registry scenario replays the exact same jobs (and
+// therefore the exact same bytes) as a retained run.
+//
+// Contract: next() yields jobs in nondecreasing arrival order (every
+// generator already sorts; the kernel enforces it at admission, because the
+// lazy one-arrival-ahead event push is only order-preserving for sorted
+// streams), and size() is the total count the stream will yield — the
+// kernel pre-reserves that many event sequence numbers so streamed and
+// materialised runs pop events in the identical (time, seq) order.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/job.hpp"
+
+namespace gridsched::workload {
+
+class JobStream {
+ public:
+  virtual ~JobStream() = default;
+
+  /// Total number of jobs this stream will yield over its lifetime.
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Produce the next job (nondecreasing arrival times); returns false
+  /// once exhausted. The kernel overwrites `job.id` with the dense
+  /// admission index, so implementations need not set it.
+  virtual bool next(sim::Job& job) = 0;
+};
+
+/// Adapter over a pre-built job vector (all existing generators): yields
+/// the jobs in vector order without copying the vector again.
+class MaterializedStream final : public JobStream {
+ public:
+  explicit MaterializedStream(std::vector<sim::Job> jobs)
+      : jobs_(std::move(jobs)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return jobs_.size();
+  }
+
+  bool next(sim::Job& job) override {
+    if (cursor_ == jobs_.size()) return false;
+    job = jobs_[cursor_++];
+    return true;
+  }
+
+ private:
+  std::vector<sim::Job> jobs_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace gridsched::workload

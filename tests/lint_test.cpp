@@ -176,6 +176,41 @@ TEST(LintR02, TimeseriesAndBenchgateAreInScope) {
                   "GS-R02", "tools/benchgate/main.cpp", 1));
 }
 
+TEST(LintR02, StreamingAggregationIsInScope) {
+  // The retirement accumulator and the job-stream cursors feed the same
+  // byte-stable sums the artifact renderers serialize; they joined the
+  // GS-R02 path scope with the streaming kernel (PR 10).
+  EXPECT_TRUE(has(lint_one("src/metrics/retirement.hpp",
+                           "auto t = std::chrono::steady_clock::now();\n"),
+                  "GS-R02", "src/metrics/retirement.hpp", 1));
+  EXPECT_TRUE(has(lint_one("src/workload/stream.hpp",
+                           "double wall = time(nullptr);\n"),
+                  "GS-R02", "src/workload/stream.hpp", 1));
+  EXPECT_TRUE(has(lint_one("src/workload/synth/stream_gen.cpp",
+                           "auto t = std::chrono::system_clock::now();\n"),
+                  "GS-R02", "src/workload/synth/stream_gen.cpp", 1));
+  // Clean streaming-aggregation code stays clean.
+  EXPECT_EQ(count_rule(lint_one("src/metrics/retirement.hpp",
+                                "void add(const Job& job) { ++jobs_; }\n"),
+                       "GS-R02"),
+            0u);
+}
+
+TEST(LintR05, StreamKernelEntropyFires) {
+  // The streaming slot table / admission path must draw nothing ambient:
+  // streamed runs replay the retained path's exact draws.
+  EXPECT_TRUE(has(lint_one("src/sim/kernel.cpp",
+                           "std::random_device rd;\n"),
+                  "GS-R05", "src/sim/kernel.cpp", 1));
+  EXPECT_TRUE(has(lint_one("src/workload/synth/stream_gen.cpp",
+                           "int r = rand();\n"),
+                  "GS-R05", "src/workload/synth/stream_gen.cpp", 1));
+  EXPECT_EQ(count_rule(lint_one("src/sim/kernel.cpp",
+                                "kernel.retire_completed();\n"),
+                       "GS-R05"),
+            0u);
+}
+
 TEST(LintR02, ClockOutsideScopeAndSuppressedPass) {
   EXPECT_EQ(count_rule(lint_one("src/exp/runner.cpp",
                                 "auto t = steady_clock::now();\n"),

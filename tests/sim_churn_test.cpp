@@ -272,7 +272,8 @@ TEST(SiteChurn, ChurnFreeWorkloadNeverRegistersTheProcess) {
 }
 
 TEST(SimKernel, RejectsDoubleRoutingOfAnEventKind) {
-  SimKernel kernel({{0, 1, 1.0, 1.0}}, {}, quick_config(50.0));
+  SimKernel kernel({{0, 1, 1.0, 1.0}}, std::vector<Job>{},
+                   quick_config(50.0));
   ArrivalProcess a;
   ArrivalProcess b;
   kernel.add_process(a);

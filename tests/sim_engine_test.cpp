@@ -80,7 +80,8 @@ TEST(Engine, RejectsEmptySiteList) {
 TEST(Engine, RejectsNonPositiveInterval) {
   EngineConfig config;
   config.batch_interval = 0.0;
-  EXPECT_THROW(Engine({{0, 1, 1.0, 1.0}}, {}, config), std::invalid_argument);
+  EXPECT_THROW(Engine({{0, 1, 1.0, 1.0}}, std::vector<Job>{}, config),
+               std::invalid_argument);
 }
 
 TEST(Engine, RejectsJobWithoutSafeHome) {

@@ -10,7 +10,10 @@
 //              must be reviewed (and the baseline regenerated) rather
 //              than absorbed silently. Throughput (events/sec) and peak
 //              RSS are hardware-dependent: deviations beyond the advisory
-//              band only warn.
+//              band only warn. Streaming rows (synth-stream-*) get an
+//              extra advisory: resident growth per streamed job
+//              (rss_delta_bytes / n_jobs) beyond --stream-bytes-per-job
+//              suggests the kernel stopped holding O(active) job state.
 //
 //   ga_decode  hard-fail when the fresh run reports any steady-state
 //              allocation on the decode fast path (fast_allocs_per_decode
@@ -114,7 +117,8 @@ void advise_rate(Gate& gate, const std::string& where,
 }
 
 void gate_kernel(Gate& gate, const json::Value& baseline,
-                 const json::Value& fresh, double band) {
+                 const json::Value& fresh, double band,
+                 double stream_bytes_per_job) {
   if (baseline.at("seed").as_uint() != fresh.at("seed").as_uint() ||
       baseline.at("quick").as_bool() != fresh.at("quick").as_bool()) {
     gate.fail("kernel: baseline and fresh artifacts were generated with "
@@ -138,6 +142,24 @@ void gate_kernel(Gate& gate, const json::Value& baseline,
     }
     advise_rate(gate, where, row, *match, "events_per_sec", band);
     advise_rate(gate, where, row, *match, "dispatches_per_sec", band);
+  }
+  // Streaming rows carry the O(active)-memory claim: resident growth per
+  // job must stay far below the footprint of a materialised job record.
+  // Self-check on the fresh artifact (no baseline needed) and advisory —
+  // RSS attribution is allocator- and page-cache-dependent.
+  for (const json::Value& row : fresh.at("scenarios").items()) {
+    const std::string& name = row.at("scenario").as_string();
+    if (name.rfind("synth-stream", 0) != 0) continue;
+    const json::Value* delta = row.find("rss_delta_bytes");
+    const double n_jobs = row.at("n_jobs").as_number();
+    if (delta == nullptr || n_jobs <= 0.0) continue;
+    const double per_job = delta->as_number() / n_jobs;
+    if (per_job > stream_bytes_per_job) {
+      gate.warn("kernel/" + name + ": " + fmt(per_job) +
+                " resident bytes per streamed job (limit " +
+                fmt(stream_bytes_per_job) +
+                ") — the O(active) streaming memory claim looks violated");
+    }
   }
   // Peak RSS: lower is better; warn when fresh exceeds (1 + band) * base.
   const double base_rss =
@@ -206,6 +228,7 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s --baseline=BENCH_x.json --fresh=fresh.json\n"
         "           [--band=0.5] [--speedup-floor=1.5]\n"
+        "           [--stream-bytes-per-job=64]\n"
         "Compares a fresh bench artifact against its committed baseline;\n"
         "exits 1 on hard regressions, 0 on pass (advisory warnings ok).\n",
         cli.program().c_str());
@@ -213,6 +236,7 @@ int main(int argc, char** argv) {
   }
   const double band = cli.get_or("band", 0.5);
   const double speedup_floor = cli.get_or("speedup-floor", 1.5);
+  const double stream_bytes_per_job = cli.get_or("stream-bytes-per-job", 64.0);
 
   Gate gate;
   try {
@@ -227,7 +251,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (kind == "kernel") {
-      gate_kernel(gate, baseline, fresh, band);
+      gate_kernel(gate, baseline, fresh, band, stream_bytes_per_job);
     } else if (kind == "ga_decode") {
       gate_ga_decode(gate, baseline, fresh, band, speedup_floor);
     } else {

@@ -240,8 +240,11 @@ void rule_r01(const std::vector<LintFile>& files,
 }
 
 /// GS-R02 — no wall-clock sources in byte-stable artifact renderers
-/// (campaign sinks, campaign journal, trace writer). Host time may only
-/// reach the --profile sidecar (ROADMAP "Observability invariants").
+/// (campaign sinks, campaign journal, trace writer) or in the streaming
+/// aggregation they read (the retirement accumulator and the job-stream
+/// cursors feed bit-identical metric sums; a clock there would desync
+/// streamed and retained artifacts). Host time may only reach the
+/// --profile sidecar (ROADMAP "Observability invariants").
 void rule_r02(const std::vector<LintFile>& files,
               std::vector<Diagnostic>& out) {
   for (const LintFile& f : files) {
@@ -250,7 +253,10 @@ void rule_r02(const std::vector<LintFile>& files,
         !path_contains(path, "campaign_journal") &&
         !path_contains(path, "trace_event") &&
         !path_contains(path, "timeseries") &&
-        !path_contains(path, "benchgate")) {
+        !path_contains(path, "benchgate") &&
+        !path_contains(path, "retirement") &&
+        !path_contains(path, "workload/stream") &&
+        !path_contains(path, "stream_gen")) {
       continue;
     }
     const auto& tokens = toks(f);
@@ -359,6 +365,10 @@ void rule_r04(const std::vector<LintFile>& files,
 /// and the cancellation deadline (or behind a justified NOLINT). The
 /// benchgate tool is held to the same bar — a regression gate that
 /// consulted the clock could pass or fail the same artifacts on rerun.
+/// The streaming kernel (slot table, admission path) and the job-stream
+/// cursors sit squarely in scope: lazy admission replays the exact draws
+/// the retained path makes, so any ambient entropy there would break the
+/// streamed-equals-materialised bit-identity contract.
 void rule_r05(const std::vector<LintFile>& files,
               std::vector<Diagnostic>& out) {
   for (const LintFile& f : files) {
